@@ -1,0 +1,52 @@
+// Ablation: random vs round-robin placement for AE codes (§V-C).
+//
+// Earlier work assumed round-robin placement, which guarantees that the
+// ~80-element repair neighbourhood of AE(3,2,5) spans distinct failure
+// domains. The paper asks: "does [random placement] affect the ability of
+// the code to recover from disasters?" — this bench answers by running
+// the same disasters under both policies.
+#include <cstdio>
+
+#include "sim/runner.h"
+#include "sim/schemes.h"
+
+int main() {
+  using namespace aec::sim;
+
+  SweepConfig random_config;
+  random_config.n_data = blocks_from_env(1'000'000);
+  random_config.seed = 2018;
+  random_config.placement = PlacementPolicy::kRandom;
+  SweepConfig rr_config = random_config;
+  rr_config.placement = PlacementPolicy::kRoundRobin;
+
+  std::printf("placement ablation — data loss after repairs\n");
+  std::printf("%llu data blocks, %u locations\n\n",
+              static_cast<unsigned long long>(random_config.n_data),
+              random_config.n_locations);
+  std::printf("%-12s %-12s |", "code", "placement");
+  for (double f : random_config.fractions)
+    std::printf(" %8.0f%%", 100 * f);
+  std::printf("\n");
+
+  for (const char* name : {"AE(1,-,-)", "AE(2,2,5)", "AE(3,2,5)"}) {
+    const auto scheme = make_scheme(name);
+    for (const auto* config : {&random_config, &rr_config}) {
+      const auto results = run_sweep(*scheme, *config);
+      std::printf("%-12s %-12s |", name,
+                  config->placement == PlacementPolicy::kRandom
+                      ? "random"
+                      : "round-robin");
+      for (const auto& r : results)
+        std::printf(" %9llu",
+                    static_cast<unsigned long long>(r.data_lost));
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nround-robin keeps lattice neighbours in distinct failure "
+              "domains and wipes out whole strand runs when correlated "
+              "locations die; random placement is what a real system can "
+              "deploy — the comparison quantifies the gap.\n");
+  return 0;
+}

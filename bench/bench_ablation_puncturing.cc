@@ -1,0 +1,86 @@
+// Ablation: punctured AE codes (§III-B "Reducing Storage Overhead").
+//
+// Puncturing drops stored parities after encoding to improve the code
+// rate without re-encoding. We drop half of the LH parities of AE(3,2,5)
+// (overhead 300 % → 250 %) and measure the fault-tolerance cost against
+// the unpunctured code and the natural lower neighbour AE(2,2,5).
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/codec/decoder.h"
+#include "core/codec/encoder.h"
+#include "core/codec/puncture.h"
+#include "sim/runner.h"
+
+namespace {
+
+std::uint64_t run_loss(const aec::CodeParams& params, std::uint64_t n,
+                       double rate, std::uint64_t seed, bool punctured) {
+  using namespace aec;
+  InMemoryBlockStore store;
+  Encoder encoder(params, 1, &store);
+  for (std::uint64_t i = 0; i < n; ++i)
+    encoder.append(Bytes{static_cast<std::uint8_t>(i * 31)});
+  if (punctured) {
+    const PunctureSpec spec{StrandClass::kLeftHanded, 2, 0};
+    puncture(store, encoder.lattice(), {{spec}});
+  }
+  Decoder decoder(params, n, 1, &store);
+  Rng rng(seed);
+  const Lattice& lat = decoder.lattice();
+  for (NodeIndex i = 1; i <= static_cast<NodeIndex>(n); ++i) {
+    if (rng.bernoulli(rate)) store.erase(BlockKey::data(i));
+    for (StrandClass cls : params.classes()) {
+      const BlockKey key = BlockKey::parity(lat.output_edge(i, cls));
+      if (rng.bernoulli(rate)) store.erase(key);
+    }
+  }
+  return decoder.repair_all().nodes_unrecovered;
+}
+
+}  // namespace
+
+int main() {
+  using namespace aec;
+  using namespace aec::sim;
+
+  const std::uint64_t n = std::min<std::uint64_t>(
+      blocks_from_env(20000), 100000);
+  const double rates[] = {0.10, 0.20, 0.30, 0.40, 0.50};
+
+  std::printf("puncturing ablation, %llu blocks, data loss after repair\n",
+              static_cast<unsigned long long>(n));
+  std::printf("(punctured = AE(3,2,5) with every other LH parity dropped "
+              "after encoding)\n\n");
+  std::printf("%-26s %8s |", "code", "+stor%");
+  for (double r : rates) std::printf(" %7.0f%%", 100 * r);
+  std::printf("\n");
+
+  struct Variant {
+    const char* label;
+    CodeParams params;
+    bool punctured;
+    double overhead;
+  };
+  const Variant variants[] = {
+      {"AE(3,2,5)", CodeParams(3, 2, 5), false, 300.0},
+      {"AE(3,2,5) punctured", CodeParams(3, 2, 5), true, 250.0},
+      {"AE(2,2,5)", CodeParams(2, 2, 5), false, 200.0},
+  };
+  for (const Variant& v : variants) {
+    std::printf("%-26s %7.0f%% |", v.label, v.overhead);
+    for (double rate : rates) {
+      std::uint64_t lost = 0;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed)
+        lost += run_loss(v.params, n, rate, seed, v.punctured);
+      std::printf(" %8llu", static_cast<unsigned long long>(lost));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npunctured AE(3,2,5) sits between the full code and "
+              "AE(2,2,5): rate improves, and the dropped parities can be "
+              "recomputed later (dynamic fault tolerance) — unlike an RS "
+              "re-encode.\n");
+  return 0;
+}

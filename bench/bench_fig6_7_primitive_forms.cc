@@ -1,0 +1,61 @@
+// Figs 6 & 7: primitive and complex minimal-erasure forms.
+//
+// Paper values: AE(1) form I |ME(2)| = 3 (and the extended form II);
+// complex forms A–D: AE(2,1,1) = 4, AE(3,1,1) = 5, AE(3,1,4) = 8,
+// AE(3,4,4) = 14. Every pattern found is re-verified with the byte
+// decoder (deadlock + irreducibility), replacing the paper's Prolog tool.
+#include <cstdio>
+
+#include "core/analysis/me_search.h"
+
+int main() {
+  using namespace aec;
+
+  struct Row {
+    const char* label;
+    CodeParams params;
+    std::uint64_t paper;
+  };
+  const Row rows[] = {
+      {"Fig 6 form I ", CodeParams::single(), 3},
+      {"Fig 7 form A ", CodeParams(2, 1, 1), 4},
+      {"Fig 7 form B ", CodeParams(3, 1, 1), 5},
+      {"Fig 7 form C ", CodeParams(3, 1, 4), 8},
+      {"Fig 7 form D ", CodeParams(3, 4, 4), 14},
+  };
+
+  std::printf("minimal erasures losing two data blocks, |ME(2)|\n");
+  std::printf("%-14s %-10s %8s %8s %6s %10s\n", "form", "code", "paper",
+              "search", "match", "verified");
+  bool all_ok = true;
+  for (const Row& row : rows) {
+    const MinimalErasureSearch search(row.params);
+    const auto pattern = search.find_minimal_erasure(2);
+    const std::uint64_t size = pattern ? pattern->size() : 0;
+    const bool verified =
+        pattern && verify_minimal_erasure(row.params, *pattern);
+    all_ok = all_ok && size == row.paper && verified;
+    std::printf("%-14s %-10s %8llu %8llu %6s %10s\n", row.label,
+                row.params.name().c_str(),
+                static_cast<unsigned long long>(row.paper),
+                static_cast<unsigned long long>(size),
+                size == row.paper ? "yes" : "NO",
+                verified ? "yes" : "NO");
+  }
+
+  // Show one pattern in full (form C): the paper's Fig 7 geometry.
+  const MinimalErasureSearch search(CodeParams(3, 1, 4));
+  if (const auto pattern = search.find_minimal_erasure(2)) {
+    std::printf("\nAE(3,1,4) pattern (translated to the lattice origin):\n");
+    const NodeIndex base = pattern->nodes.front() - 1;
+    std::printf("  erased nodes:");
+    for (NodeIndex n : pattern->nodes)
+      std::printf(" d%lld", static_cast<long long>(n - base));
+    std::printf("\n  erased parities:");
+    for (const Edge& e : pattern->edges)
+      std::printf(" p(%s,%lld)", to_string(e.cls),
+                  static_cast<long long>(e.tail - base));
+    std::printf("\n");
+  }
+  return all_ok ? 0 : 1;
+}

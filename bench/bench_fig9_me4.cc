@@ -1,0 +1,63 @@
+// Fig 9: |ME(4)| as a function of p for AE(2,2,p), AE(2,3,p), AE(3,2,p)
+// and AE(3,3,p), p in [2,8].
+//
+// Paper observations reproduced: |ME(4)| = 8 and constant for α = 2 (the
+// square pattern: redundancy propagates across 4 nodes + 4 edges);
+// for α = 3 it grows with s but not with p. The cube bound |ME(8)| = 20
+// for AE(3,3,3) is checked when AEC_ME8=1 (a heavier search).
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/analysis/me_search.h"
+
+int main() {
+  using namespace aec;
+
+  struct Series {
+    std::uint32_t alpha;
+    std::uint32_t s;
+  };
+  const Series series[] = {{2, 2}, {2, 3}, {3, 2}, {3, 3}};
+
+  std::printf("|ME(4)| vs p (Fig 9)\n%-12s", "code \\ p");
+  for (std::uint32_t p = 2; p <= 8; ++p) std::printf(" %4u", p);
+  std::printf("\n");
+
+  for (const Series& s : series) {
+    std::printf("AE(%u,%u,p)  ", s.alpha, s.s);
+    for (std::uint32_t p = 2; p <= 8; ++p) {
+      if (p < s.s) {
+        std::printf("   -");
+        continue;
+      }
+      const MinimalErasureSearch search(CodeParams(s.alpha, s.s, p));
+      const auto size = search.me_size(4);
+      std::printf(" %4llu",
+                  static_cast<unsigned long long>(size.value_or(0)));
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  std::printf("\nnote: the exhaustive search finds slightly smaller minimal\n"
+              "erasures than the paper at p = 0 (mod s) — e.g. 12 instead of\n"
+              "14 for AE(3,2,4) — caused by helical-strand re-alignments the\n"
+              "paper's visual inspection skipped (\"we concentrate only on\n"
+              "the most relevant patterns\"). Each pattern is re-verified\n"
+              "against the byte decoder; the paper's conclusions (constant 8\n"
+              "for alpha=2, growth with s not p for alpha=3) hold.\n");
+
+  const char* me8 = std::getenv("AEC_ME8");
+  if (me8 != nullptr && me8[0] == '1') {
+    std::printf("\ncube bound check (AE(3,3,3)): |ME(8)| = ");
+    std::fflush(stdout);
+    const MinimalErasureSearch search(CodeParams(3, 3, 3));
+    const auto size = search.me_size(8);
+    std::printf("%llu (paper: 20)\n",
+                static_cast<unsigned long long>(size.value_or(0)));
+  } else {
+    std::printf("\n(set AEC_ME8=1 to also search the AE(3,3,3) cube bound "
+                "|ME(8)| = 20)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// §IV-B-1: entangled mirror — 5-year reliability vs mirroring.
+//
+// Paper claim (from the authors' IPCCC'16 results): full-partition
+// simple entanglements reduce the 5-year probability of data loss vs
+// mirroring by ~90 % (open chains) and ~98 % (closed chains).
+#include <cstdio>
+
+#include "store/entangled_mirror.h"
+
+int main() {
+  using namespace aec::store;
+
+  DiskArrayConfig config;
+  config.data_drives = 10;
+  config.mttf_hours = 10000;
+  config.repair_hours = 48;
+  config.mission_hours = 5 * 8760;
+  config.trials = 20000;
+  config.seed = 2016;
+
+  std::printf("entangled mirror, %u data + %u parity drives, "
+              "MTTF %.0f h, repair %.0f h, %llu trials\n\n",
+              config.data_drives, config.data_drives, config.mttf_hours,
+              config.repair_hours,
+              static_cast<unsigned long long>(config.trials));
+  std::printf("%-30s %12s %14s\n", "layout", "P(loss, 5y)",
+              "vs mirroring");
+
+  const auto mirror =
+      simulate_array_reliability(ArrayLayout::kMirroring, config);
+  std::printf("%-30s %12.4f %14s\n", to_string(ArrayLayout::kMirroring),
+              mirror.loss_probability, "baseline");
+
+  for (ArrayLayout layout :
+       {ArrayLayout::kFullPartitionOpen, ArrayLayout::kFullPartitionClosed,
+        ArrayLayout::kStripingOpen, ArrayLayout::kStripingClosed}) {
+    const auto estimate = simulate_array_reliability(layout, config);
+    const double reduction =
+        mirror.loss_probability > 0
+            ? 100.0 *
+                  (1.0 - estimate.loss_probability / mirror.loss_probability)
+            : 0.0;
+    std::printf("%-30s %12.4f %13.1f%%\n", to_string(layout),
+                estimate.loss_probability, -reduction);
+    std::fflush(stdout);
+  }
+  std::printf("\npaper: open chains ~-90%%, closed chains ~-98%% vs "
+              "mirroring at equal storage.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// §V-C "Block Placements": the placement statistics the paper reports.
+//
+// Paper numbers (1M data blocks, RS(10,4) → 1.4M blocks, n = 100):
+// mean 14,000 blocks/site with σ = 130.88; of 100,000 stripes only
+// 38,429 had their 14 blocks on distinct locations, the rest spreading
+// as 8 (5), 9 (39), 10 (475), 11 (3,746), 12 (17,076), 13 (40,230);
+// with n = 1,000 locations, 91,167 stripes hit 14 distinct locations.
+#include <cstdio>
+
+#include "sim/placement.h"
+#include "sim/runner.h"
+
+int main() {
+  using namespace aec;
+  using namespace aec::sim;
+
+  const std::uint64_t n_data = blocks_from_env(1'000'000);
+  const std::uint64_t stripes = n_data / 10;       // RS(10,4)
+  const std::uint64_t blocks = stripes * 14;
+
+  for (std::uint32_t n_locations : {100u, 1000u}) {
+    Rng rng(2018);
+    const auto locations =
+        place_blocks(blocks, n_locations, PlacementPolicy::kRandom, rng);
+    const Summary per_site = per_location_summary(locations, n_locations);
+    const Histogram spread = stripe_spread_histogram(locations, 14);
+
+    std::printf("RS(10,4), %llu data blocks (%llu blocks total), "
+                "n = %u locations\n",
+                static_cast<unsigned long long>(stripes * 10),
+                static_cast<unsigned long long>(blocks), n_locations);
+    std::printf("  blocks per site: mean %.0f, sigma = %.2f\n",
+                per_site.mean, per_site.stddev);
+    std::printf("  stripes on 14 distinct locations: %llu of %llu "
+                "(%.1f%%; paper: 38,429 of 100,000 at n=100, 91,167 at "
+                "n=1000)\n",
+                static_cast<unsigned long long>(spread.count(14)),
+                static_cast<unsigned long long>(stripes),
+                100.0 * static_cast<double>(spread.count(14)) /
+                    static_cast<double>(stripes));
+    std::printf("  spread distribution: %s\n\n",
+                spread.to_string().c_str());
+  }
+
+  // The AE remark of §V-C: an AE(3,2,5) repair neighbourhood spans a
+  // lattice section of ~80 elements; under random placement over 100
+  // locations those cannot all sit in distinct failure domains.
+  Rng rng(2018);
+  const auto ae_locations =
+      place_blocks(80 * 1000, 100, PlacementPolicy::kRandom, rng);
+  const Histogram ae_spread = stripe_spread_histogram(ae_locations, 80);
+  std::printf("AE(3,2,5) lattice sections of 80 elements over 100 random "
+              "locations:\n  distinct-location counts: %s\n",
+              ae_spread.to_string().c_str());
+  std::printf("  (sections never span all 80 domains — the round-robin "
+              "assumption of earlier work is unrealistic; Figs 11-13 use "
+              "random placement throughout)\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Umbrella header: the public API of the alpha-entanglement-codes
+// library. Include individual headers for faster builds.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/xor_engine.h"
+#include "core/analysis/me_search.h"
+#include "core/analysis/repair_paths.h"
+#include "core/codec/block_store.h"
+#include "core/codec/decoder.h"
+#include "core/codec/encoder.h"
+#include "core/codec/file_block_store.h"
+#include "core/codec/puncture.h"
+#include "core/codec/tamper.h"
+#include "core/codec/write_planner.h"
+#include "core/lattice/code_params.h"
+#include "core/lattice/lattice.h"
+#include "core/lattice/multi_pitch.h"

@@ -1,0 +1,18 @@
+// Byte-buffer alias used for block payloads throughout the library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aec {
+
+/// Owning payload of a data or parity block. All blocks of one lattice have
+/// identical size (paper §III-B: "data and parity blocks with identical
+/// size").
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read view of a block payload.
+using BytesView = std::span<const std::uint8_t>;
+
+}  // namespace aec

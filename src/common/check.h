@@ -1,0 +1,55 @@
+// Runtime invariant checking.
+//
+// AEC_CHECK is always on (input validation, API contract violations);
+// AEC_DCHECK compiles away in NDEBUG builds (internal invariants on hot
+// paths). Both throw aec::CheckError so library misuse is recoverable and
+// testable, never UB.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aec {
+
+/// Thrown when a library precondition or internal invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace aec
+
+#define AEC_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::aec::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define AEC_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream os_;                                        \
+      os_ << msg;                                                    \
+      ::aec::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                  os_.str());                        \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define AEC_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define AEC_DCHECK(expr) AEC_CHECK(expr)
+#endif

@@ -1,0 +1,91 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace aec {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
+  // Lemire's method: multiply-shift with rejection to remove bias.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::uniform_double() noexcept {
+  // 53 top bits → [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double probability) noexcept {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  return uniform_double() < probability;
+}
+
+double Rng::exponential(double mean) noexcept {
+  double u;
+  do {
+    u = uniform_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+Bytes Rng::random_block(std::size_t size) noexcept {
+  Bytes out(size);
+  std::size_t i = 0;
+  while (i + 8 <= size) {
+    const std::uint64_t w = next_u64();
+    for (int b = 0; b < 8; ++b)
+      out[i + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(w >> (8 * b));
+    i += 8;
+  }
+  if (i < size) {
+    const std::uint64_t w = next_u64();
+    for (int b = 0; i < size; ++i, ++b)
+      out[i] = static_cast<std::uint8_t>(w >> (8 * b));
+  }
+  return out;
+}
+
+}  // namespace aec

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation.
+//
+// Simulations must be reproducible bit-for-bit across runs and platforms,
+// so we implement SplitMix64 (seeding) + xoshiro256** (stream) instead of
+// relying on implementation-defined std::default_random_engine behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace aec {
+
+/// xoshiro256** seeded via SplitMix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's nearly-divisionless method (unbiased).
+  std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform_double() noexcept;
+
+  /// True with probability `probability` (clamped to [0,1]).
+  bool bernoulli(double probability) noexcept;
+
+  /// Exponentially distributed variate with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Fills a block of `size` bytes with random content.
+  Bytes random_block(std::size_t size) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace aec

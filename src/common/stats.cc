@@ -1,0 +1,66 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace aec {
+
+namespace {
+template <typename T>
+Summary summarize_impl(std::span<const T> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  double mn = static_cast<double>(values.front());
+  double mx = mn;
+  for (T v : values) {
+    const double d = static_cast<double>(v);
+    sum += d;
+    mn = std::min(mn, d);
+    mx = std::max(mx, d);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (T v : values) {
+    const double d = static_cast<double>(v) - s.mean;
+    ss += d * d;
+  }
+  s.stddev = std::sqrt(ss / static_cast<double>(values.size()));
+  s.min = mn;
+  s.max = mx;
+  return s;
+}
+}  // namespace
+
+Summary summarize(std::span<const double> values) {
+  return summarize_impl(values);
+}
+
+Summary summarize_counts(std::span<const std::uint64_t> values) {
+  return summarize_impl(values);
+}
+
+void Histogram::add(std::int64_t value, std::uint64_t weight) {
+  buckets_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::count(std::int64_t value) const {
+  auto it = buckets_.find(value);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [value, occurrences] : buckets_) {
+    if (!first) os << " ";
+    os << value << "(" << occurrences << ")";
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace aec

@@ -1,0 +1,42 @@
+// Small descriptive-statistics helpers used by simulations and benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aec {
+
+/// Mean and (population) standard deviation of a sample.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+Summary summarize(std::span<const double> values);
+Summary summarize_counts(std::span<const std::uint64_t> values);
+
+/// Integer-valued histogram (value → occurrences).
+class Histogram {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1);
+  /// Occurrences of `value` (0 if never added).
+  std::uint64_t count(std::int64_t value) const;
+  std::uint64_t total() const { return total_; }
+  const std::map<std::int64_t, std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+  /// "v1(c1) v2(c2) …" — the format the paper uses for stripe spread.
+  std::string to_string() const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace aec

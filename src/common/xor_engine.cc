@@ -1,0 +1,45 @@
+#include "common/xor_engine.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace aec {
+
+void xor_into(std::span<std::uint8_t> dst, BytesView src) {
+  AEC_CHECK_MSG(dst.size() == src.size(),
+                "xor_into: size mismatch " << dst.size() << " vs "
+                                           << src.size());
+  std::size_t n = dst.size();
+  std::uint8_t* d = dst.data();
+  const std::uint8_t* s = src.data();
+
+  // Word loop via memcpy keeps the code free of alignment UB; GCC/Clang
+  // lower the memcpys to plain loads/stores and vectorize the loop.
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, d + i, 8);
+    std::memcpy(&b, s + i, 8);
+    a ^= b;
+    std::memcpy(d + i, &a, 8);
+  }
+  for (; i < n; ++i) d[i] ^= s[i];
+}
+
+Bytes xor_blocks(BytesView a, BytesView b) {
+  AEC_CHECK_MSG(a.size() == b.size(),
+                "xor_blocks: size mismatch " << a.size() << " vs "
+                                             << b.size());
+  Bytes out(a.begin(), a.end());
+  xor_into(out, b);
+  return out;
+}
+
+bool all_zero(BytesView b) noexcept {
+  for (std::uint8_t v : b)
+    if (v != 0) return false;
+  return true;
+}
+
+}  // namespace aec

@@ -1,0 +1,25 @@
+// Word-wide XOR primitives — the only arithmetic the AE codec needs
+// (paper: "the encoder and decoder are lightweight—essentially based on
+// exclusive-or operations").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+
+namespace aec {
+
+/// dst ^= src, element-wise. Both spans must have the same size.
+/// Works on unaligned buffers; processes 8 bytes per step (the compiler
+/// auto-vectorizes the word loop to SSE/AVX where available).
+void xor_into(std::span<std::uint8_t> dst, BytesView src);
+
+/// Returns a ^ b as a fresh buffer. Sizes must match.
+Bytes xor_blocks(BytesView a, BytesView b);
+
+/// True iff every byte of `b` is zero.
+bool all_zero(BytesView b) noexcept;
+
+}  // namespace aec

@@ -1,0 +1,87 @@
+#include "core/analysis/repair_paths.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace aec {
+
+namespace {
+
+constexpr std::uint64_t kSaturated =
+    std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSaturated / b) return kSaturated;
+  return a * b;
+}
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  return a > kSaturated - b ? kSaturated : a + b;
+}
+
+std::uint64_t node_ways(const Lattice& lat, NodeIndex i,
+                        std::uint32_t depth);
+
+std::uint64_t edge_ways(const Lattice& lat, Edge e, std::uint32_t depth) {
+  std::uint64_t ways = 1;  // direct read
+  if (depth == 0) return ways;
+  // Option A: tail node + predecessor edge on the same strand.
+  {
+    const std::uint64_t tail = node_ways(lat, e.tail, depth - 1);
+    const auto pred = lat.input_edge(e.tail, e.cls);
+    const std::uint64_t pred_ways =
+        pred ? edge_ways(lat, *pred, depth - 1) : 1;  // bootstrap zero
+    ways = sat_add(ways, sat_mul(tail, pred_ways));
+  }
+  // Option B: head node + successor edge.
+  {
+    const NodeIndex head = lat.edge_head(e);
+    if (lat.is_valid_node(head)) {
+      const std::uint64_t head_ways = node_ways(lat, head, depth - 1);
+      const std::uint64_t succ =
+          edge_ways(lat, lat.output_edge(head, e.cls), depth - 1);
+      ways = sat_add(ways, sat_mul(head_ways, succ));
+    }
+  }
+  return ways;
+}
+
+std::uint64_t node_ways(const Lattice& lat, NodeIndex i,
+                        std::uint32_t depth) {
+  std::uint64_t ways = 1;  // direct read
+  if (depth == 0) return ways;
+  for (StrandClass cls : lat.params().classes()) {
+    const auto in = lat.input_edge(i, cls);
+    const std::uint64_t in_ways =
+        in ? edge_ways(lat, *in, depth - 1) : 1;  // bootstrap zero
+    const std::uint64_t out_ways =
+        edge_ways(lat, lat.output_edge(i, cls), depth - 1);
+    ways = sat_add(ways, sat_mul(in_ways, out_ways));
+  }
+  return ways;
+}
+
+}  // namespace
+
+std::uint64_t count_node_recovery_ways(const Lattice& lattice, NodeIndex i,
+                                       std::uint32_t depth) {
+  AEC_CHECK_MSG(lattice.is_valid_node(i), "invalid node " << i);
+  AEC_CHECK_MSG(depth <= 8, "depth > 8 saturates and only burns time");
+  return node_ways(lattice, i, depth);
+}
+
+std::uint64_t count_edge_recovery_ways(const Lattice& lattice, Edge e,
+                                       std::uint32_t depth) {
+  AEC_CHECK_MSG(depth <= 8, "depth > 8 saturates and only burns time");
+  return edge_ways(lattice, e, depth);
+}
+
+std::uint64_t count_repair_paths(const Lattice& lattice, NodeIndex i,
+                                 std::uint32_t depth) {
+  const std::uint64_t ways = count_node_recovery_ways(lattice, i, depth);
+  return ways == kSaturated ? ways : ways - 1;
+}
+
+}  // namespace aec

@@ -1,0 +1,40 @@
+// Recovery-path counting (paper §I and Fig 2).
+//
+// The paper's core quantitative claim about α: "the storage overhead
+// increases linearly with the number of parities per data block, [but]
+// the number of possible data recovery paths grows exponentially". This
+// module counts, exactly, the distinct resolution trees by which a block
+// can be obtained within a bounded recursion depth:
+//
+//   ways(node i, d) = 1 (direct read)
+//                   + Σ_classes ways(in-edge, d−1) · ways(out-edge, d−1)
+//   ways(edge e, d) = 1 (direct read)
+//                   + ways(tail, d−1) · ways(pred-edge, d−1)   (option A)
+//                   + ways(head, d−1) · ways(succ-edge, d−1)   (option B)
+//
+// with depth-0 terms reduced to the direct read, bootstrap inputs
+// counting as one way (the virtual zero block), and dangling successors
+// contributing nothing. Counts saturate at UINT64_MAX.
+#pragma once
+
+#include <cstdint>
+
+#include "core/lattice/lattice.h"
+
+namespace aec {
+
+/// Distinct ways to obtain data block `i` with recursion budget `depth`.
+/// depth = 0 → 1 (the direct read). Saturating arithmetic.
+std::uint64_t count_node_recovery_ways(const Lattice& lattice, NodeIndex i,
+                                       std::uint32_t depth);
+
+/// Distinct ways to obtain parity `e` with recursion budget `depth`.
+std::uint64_t count_edge_recovery_ways(const Lattice& lattice, Edge e,
+                                       std::uint32_t depth);
+
+/// count_node_recovery_ways minus the direct read — the number of
+/// *repair* alternatives for a lost block.
+std::uint64_t count_repair_paths(const Lattice& lattice, NodeIndex i,
+                                 std::uint32_t depth);
+
+}  // namespace aec

@@ -1,0 +1,50 @@
+// Identity of a stored block: either a data block d_i or a parity block
+// p_{i,j} (named by strand class + tail node, see lattice.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/lattice/lattice.h"
+
+namespace aec {
+
+struct BlockKey {
+  enum class Kind : std::uint8_t { kData = 0, kParity = 1 };
+
+  Kind kind{Kind::kData};
+  StrandClass cls{StrandClass::kHorizontal};  // meaningful for parity only
+  NodeIndex index{0};  // node position (data) or edge tail (parity)
+
+  static BlockKey data(NodeIndex i) noexcept {
+    return BlockKey{Kind::kData, StrandClass::kHorizontal, i};
+  }
+  static BlockKey parity(Edge e) noexcept {
+    return BlockKey{Kind::kParity, e.cls, e.tail};
+  }
+
+  bool is_data() const noexcept { return kind == Kind::kData; }
+  bool is_parity() const noexcept { return kind == Kind::kParity; }
+  Edge edge() const noexcept { return Edge{cls, index}; }
+
+  friend bool operator==(const BlockKey&, const BlockKey&) = default;
+};
+
+struct BlockKeyHash {
+  std::size_t operator()(const BlockKey& k) const noexcept {
+    // index dominates; kind and class perturb the low bits.
+    auto h = static_cast<std::size_t>(k.index);
+    h = h * 1315423911u ^ (static_cast<std::size_t>(k.cls) << 1) ^
+        static_cast<std::size_t>(k.kind);
+    return h;
+  }
+};
+
+/// "d26", "p(H,21)" — debugging / logging aid.
+inline std::string to_string(const BlockKey& k) {
+  if (k.is_data()) return "d" + std::to_string(k.index);
+  return std::string("p(") + to_string(k.cls) + "," +
+         std::to_string(k.index) + ")";
+}
+
+}  // namespace aec

@@ -1,0 +1,29 @@
+#include "core/codec/block_store.h"
+
+namespace aec {
+
+void InMemoryBlockStore::put(const BlockKey& key, Bytes value) {
+  blocks_[key] = std::move(value);
+}
+
+const Bytes* InMemoryBlockStore::find(const BlockKey& key) const {
+  auto it = blocks_.find(key);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+bool InMemoryBlockStore::contains(const BlockKey& key) const {
+  return blocks_.contains(key);
+}
+
+bool InMemoryBlockStore::erase(const BlockKey& key) {
+  return blocks_.erase(key) > 0;
+}
+
+std::uint64_t InMemoryBlockStore::size() const { return blocks_.size(); }
+
+void InMemoryBlockStore::for_each(
+    const std::function<void(const BlockKey&, const Bytes&)>& fn) const {
+  for (const auto& [key, value] : blocks_) fn(key, value);
+}
+
+}  // namespace aec

@@ -1,0 +1,55 @@
+// Block storage abstraction. The codec is storage-agnostic (paper §III-B
+// "Implementation Details": client-, middleware- or backend-based); the
+// library ships an in-memory implementation that also supports fault
+// injection for tests, examples and simulations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "core/codec/block_key.h"
+
+namespace aec {
+
+/// Abstract key→block store.
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+
+  /// Inserts or overwrites a block.
+  virtual void put(const BlockKey& key, Bytes value) = 0;
+
+  /// Returns the stored payload, or nullptr when the block is missing.
+  /// The pointer stays valid until the next mutating call.
+  virtual const Bytes* find(const BlockKey& key) const = 0;
+
+  virtual bool contains(const BlockKey& key) const = 0;
+
+  /// Removes a block (models loss/unavailability). Returns true if it
+  /// was present.
+  virtual bool erase(const BlockKey& key) = 0;
+
+  virtual std::uint64_t size() const = 0;
+};
+
+/// Hash-map backed store.
+class InMemoryBlockStore final : public BlockStore {
+ public:
+  void put(const BlockKey& key, Bytes value) override;
+  const Bytes* find(const BlockKey& key) const override;
+  bool contains(const BlockKey& key) const override;
+  bool erase(const BlockKey& key) override;
+  std::uint64_t size() const override;
+
+  /// Visits every stored (key, value) pair.
+  void for_each(
+      const std::function<void(const BlockKey&, const Bytes&)>& fn) const;
+
+ private:
+  std::unordered_map<BlockKey, Bytes, BlockKeyHash> blocks_;
+};
+
+}  // namespace aec

@@ -1,0 +1,93 @@
+// AE(α, s, p) decoder (paper §III-A/B).
+//
+// Single failures are repaired with one XOR of two blocks:
+//   node  d_i    = p_{h,i} XOR p_{i,j}   — α options, one per strand;
+//   edge  p_{i,j} = d_i XOR p_{h,i}      — or d_j XOR p_{j,k}: two options.
+//
+// Multi-failure recovery runs synchronous rounds: the set of repairable
+// blocks is computed against availability at round start, then applied at
+// once. This matches the paper's round accounting (Table VI) and is
+// deterministic (order-independent).
+//
+// read_node() implements the "shortest available path" behaviour of
+// Fig 2: it runs the fixpoint on an expanding neighbourhood of the target
+// (concentric paths), touching remote parts of the lattice only when the
+// close paths are themselves damaged.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/codec/block_store.h"
+#include "core/lattice/lattice.h"
+
+namespace aec {
+
+/// Outcome of a global repair pass.
+struct RepairReport {
+  /// Rounds that repaired at least one block.
+  std::uint32_t rounds = 0;
+  /// Blocks regenerated per round (data and parity separately).
+  std::vector<std::uint64_t> nodes_repaired_per_round;
+  std::vector<std::uint64_t> edges_repaired_per_round;
+  std::uint64_t nodes_repaired_total = 0;
+  std::uint64_t edges_repaired_total = 0;
+  /// Blocks that remained missing at fixpoint (irrecoverable).
+  std::uint64_t nodes_unrecovered = 0;
+  std::uint64_t edges_unrecovered = 0;
+};
+
+class Decoder {
+ public:
+  /// Views the first n_nodes positions of an open lattice stored in
+  /// `store` (which must outlive the decoder).
+  Decoder(CodeParams params, std::uint64_t n_nodes, std::size_t block_size,
+          BlockStore* store);
+
+  const Lattice& lattice() const noexcept { return lattice_; }
+
+  /// One-XOR repair of data block i via the first strand whose two
+  /// incident parities are available. Persists the repaired block and
+  /// returns the strand class used, or nullopt.
+  std::optional<StrandClass> try_repair_node(NodeIndex i);
+
+  /// One-XOR repair of a parity block via either incident node.
+  bool try_repair_edge(Edge e);
+
+  /// Returns the payload of d_i, repairing through an expanding
+  /// neighbourhood if necessary. Repairs are persisted to the store.
+  /// Returns nullopt when the block is irrecoverable.
+  std::optional<Bytes> read_node(NodeIndex i);
+
+  /// Synchronous round-based repair of everything recoverable.
+  RepairReport repair_all(std::uint32_t max_rounds = 0 /* unlimited */);
+
+  /// True iff the block's payload is present in the store.
+  bool is_available(const BlockKey& key) const;
+
+ private:
+  /// Input parity value for node i on cls: stored payload, the zero block
+  /// at an open-lattice bootstrap, or nullopt when genuinely missing.
+  std::optional<Bytes> input_value(NodeIndex i, StrandClass cls) const;
+
+  /// The set of currently missing block keys (data 1..n, parities).
+  std::vector<BlockKey> collect_missing() const;
+
+  /// Availability-only repairability predicates.
+  bool node_repairable(NodeIndex i) const;
+  bool edge_repairable(Edge e) const;
+
+  /// Materializes one block from already-available neighbours (single
+  /// XOR). Precondition: the corresponding *_repairable() holds.
+  void materialize_node(NodeIndex i);
+  void materialize_edge(Edge e);
+
+  CodeParams params_;
+  Lattice lattice_;
+  std::size_t block_size_;
+  BlockStore* store_;
+};
+
+}  // namespace aec

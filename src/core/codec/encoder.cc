@@ -1,0 +1,76 @@
+#include "core/codec/encoder.h"
+
+#include "common/check.h"
+#include "common/xor_engine.h"
+
+namespace aec {
+
+Encoder::Encoder(CodeParams params, std::size_t block_size, BlockStore* store,
+                 std::uint64_t resume_count)
+    : params_(std::move(params)),
+      block_size_(block_size),
+      store_(store),
+      count_(resume_count) {
+  AEC_CHECK_MSG(block_size_ > 0, "block size must be positive");
+  AEC_CHECK_MSG(store_ != nullptr, "encoder needs a block store");
+}
+
+namespace {
+Lattice open_lattice(const CodeParams& params, std::uint64_t n) {
+  return Lattice(params, n == 0 ? 1 : n, Lattice::Boundary::kOpen);
+}
+}  // namespace
+
+Bytes Encoder::fetch_head(const Lattice& lat, NodeIndex i, StrandClass cls) {
+  const std::uint64_t key = head_key(cls, lat.strand_id(i, cls));
+  if (auto it = heads_.find(key); it != heads_.end()) return it->second;
+  // Cache miss (fresh strand or post-crash): the head is the input edge
+  // of node i, fetched from the store; a strand that has never produced
+  // a parity bootstraps with the zero block.
+  if (auto in = lat.input_edge(i, cls)) {
+    const Bytes* stored = store_->find(BlockKey::parity(*in));
+    AEC_CHECK_MSG(stored != nullptr,
+                  "encoder head recovery: parity " << to_string(
+                      BlockKey::parity(*in)) << " missing from store");
+    return *stored;
+  }
+  return Bytes(block_size_, 0);
+}
+
+EncodeResult Encoder::append(BytesView data) {
+  AEC_CHECK_MSG(data.size() == block_size_,
+                "append: block size " << data.size() << " != configured "
+                                      << block_size_);
+  const NodeIndex i = static_cast<NodeIndex>(++count_);
+  const Lattice lat = open_lattice(params_, count_);
+
+  EncodeResult result;
+  result.index = i;
+  for (StrandClass cls : params_.classes()) {
+    Bytes parity = fetch_head(lat, i, cls);
+    xor_into(parity, data);  // p_{i,j} = d_i XOR p_{h,i}
+    const Edge out = lat.output_edge(i, cls);
+    store_->put(BlockKey::parity(out), parity);
+    heads_[head_key(cls, lat.strand_id(i, cls))] = std::move(parity);
+    result.parities.push_back(out);
+  }
+  store_->put(BlockKey::data(i), Bytes(data.begin(), data.end()));
+  return result;
+}
+
+std::vector<EncodeResult> Encoder::append_all(
+    const std::vector<Bytes>& blocks) {
+  std::vector<EncodeResult> results;
+  results.reserve(blocks.size());
+  for (const Bytes& b : blocks) results.push_back(append(b));
+  return results;
+}
+
+Lattice Encoder::lattice() const {
+  AEC_CHECK_MSG(count_ > 0, "lattice(): nothing encoded yet");
+  return Lattice(params_, count_, Lattice::Boundary::kOpen);
+}
+
+void Encoder::drop_head_cache() { heads_.clear(); }
+
+}  // namespace aec

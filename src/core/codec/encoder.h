@@ -1,0 +1,80 @@
+// Streaming AE(α, s, p) encoder (paper §III-B).
+//
+// Data blocks are appended in lattice order. Entangling d_i computes, for
+// each of its α strands, p_{i,j} = d_i XOR p_{h,i}, where p_{h,i} is the
+// strand head — the most recent parity of that strand instance. The
+// encoder therefore keeps exactly s + (α−1)·p parity blocks in memory
+// (paper §IV-A: "AE(3,5,5) requires to keep in memory the last p-block of
+// its 15 strands"); everything else lives in the BlockStore. If the
+// encoder crashes, the heads can be re-fetched from remote storage.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/codec/block_store.h"
+#include "core/lattice/lattice.h"
+
+namespace aec {
+
+/// Outcome of appending one data block: its lattice position plus the α
+/// parities created ("sealed bucket" contents, paper §V-B).
+struct EncodeResult {
+  NodeIndex index = 0;
+  std::vector<Edge> parities;
+};
+
+class Encoder {
+ public:
+  /// All blocks (data and parity) must have exactly `block_size` bytes.
+  /// The store must outlive the encoder. `resume_count` > 0 resumes an
+  /// existing lattice of that many blocks (e.g. a reopened archive): the
+  /// strand heads are re-fetched from the store on demand.
+  Encoder(CodeParams params, std::size_t block_size, BlockStore* store,
+          std::uint64_t resume_count = 0);
+
+  /// Entangles the next data block: stores it, computes and stores its α
+  /// parities, advances the strand heads. Throws CheckError on size
+  /// mismatch.
+  EncodeResult append(BytesView data);
+
+  /// Convenience: appends every block of `blocks` in order.
+  std::vector<EncodeResult> append_all(const std::vector<Bytes>& blocks);
+
+  const CodeParams& params() const noexcept { return params_; }
+  std::size_t block_size() const noexcept { return block_size_; }
+
+  /// Number of data blocks entangled so far.
+  std::uint64_t size() const noexcept { return count_; }
+
+  /// Open lattice over the blocks appended so far.
+  Lattice lattice() const;
+
+  /// Strand-head cache entries currently held (≤ s + (α−1)·p).
+  std::size_t cached_heads() const noexcept { return heads_.size(); }
+
+  /// Drops the in-memory strand heads (models a broker crash). The next
+  /// append re-fetches them from the store (paper §IV-A).
+  void drop_head_cache();
+
+ private:
+  /// Cache key for a strand instance.
+  static std::uint64_t head_key(StrandClass cls, std::uint32_t strand_id) {
+    return (static_cast<std::uint64_t>(cls) << 32) | strand_id;
+  }
+
+  /// The head parity of the strand that `cls` routes through node i —
+  /// from cache, else from the store (crash recovery), else the zero
+  /// block (strand bootstrap).
+  Bytes fetch_head(const Lattice& lat, NodeIndex i, StrandClass cls);
+
+  CodeParams params_;
+  std::size_t block_size_;
+  BlockStore* store_;
+  std::uint64_t count_ = 0;
+  std::unordered_map<std::uint64_t, Bytes> heads_;
+};
+
+}  // namespace aec

@@ -1,0 +1,51 @@
+// Durable block store: one file per block under a root directory.
+//
+// Layout: <root>/d/<index> for data blocks, <root>/p/<class>/<tail> for
+// parities — human-inspectable and rsync-friendly, which suits the
+// archival setting the paper targets. An in-memory index is built at
+// open() so contains()/find() stay cheap; payloads are read lazily and
+// cached until the next mutation of the same key.
+//
+// This is the persistence substrate behind the `aectool` CLI: a real
+// archive that survives process restarts and whose individual block
+// files can be deleted/corrupted externally and then repaired through
+// the lattice.
+#pragma once
+
+#include <filesystem>
+#include <unordered_map>
+
+#include "core/codec/block_store.h"
+
+namespace aec {
+
+class FileBlockStore final : public BlockStore {
+ public:
+  /// Opens (creating directories if needed) an archive rooted at `root`.
+  explicit FileBlockStore(std::filesystem::path root);
+
+  void put(const BlockKey& key, Bytes value) override;
+  const Bytes* find(const BlockKey& key) const override;
+  bool contains(const BlockKey& key) const override;
+  bool erase(const BlockKey& key) override;
+  std::uint64_t size() const override;
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+  /// Drops the payload cache (the index stays). Mostly for tests and
+  /// memory-conscious batch jobs.
+  void drop_cache() const;
+
+  /// Re-scans the directory tree (picks up external additions/removals).
+  void rescan();
+
+  /// Filesystem path of a block.
+  std::filesystem::path path_of(const BlockKey& key) const;
+
+ private:
+  std::filesystem::path root_;
+  std::unordered_map<BlockKey, bool, BlockKeyHash> index_;
+  mutable std::unordered_map<BlockKey, Bytes, BlockKeyHash> cache_;
+};
+
+}  // namespace aec

@@ -1,0 +1,32 @@
+#include "core/codec/puncture.h"
+
+#include "common/check.h"
+
+namespace aec {
+
+std::uint64_t puncture(BlockStore& store, const Lattice& lattice,
+                       std::span<const PunctureSpec> specs) {
+  std::uint64_t dropped = 0;
+  const auto n = static_cast<NodeIndex>(lattice.n_nodes());
+  for (NodeIndex i = 1; i <= n; ++i) {
+    for (StrandClass cls : lattice.params().classes()) {
+      const Edge e = lattice.output_edge(i, cls);
+      for (const PunctureSpec& spec : specs) {
+        if (spec.drops(e)) {
+          if (store.erase(BlockKey::parity(e))) ++dropped;
+          break;
+        }
+      }
+    }
+  }
+  return dropped;
+}
+
+double punctured_overhead_percent(const CodeParams& params,
+                                  double kept_parity_fraction) {
+  AEC_CHECK_MSG(kept_parity_fraction >= 0.0 && kept_parity_fraction <= 1.0,
+                "kept fraction must be in [0,1]");
+  return params.storage_overhead_percent() * kept_parity_fraction;
+}
+
+}  // namespace aec

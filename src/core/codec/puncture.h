@@ -1,0 +1,42 @@
+// Code puncturing (paper §III-B "Reducing Storage Overhead").
+//
+// Puncturing is the standard coding-theory technique of not storing some
+// of the computed parities. The paper announces it as the second strategy
+// to improve the code rate (the first being "start with a low α and grow
+// it later"); we implement periodic puncturing per strand class and let
+// the disaster harness measure the fault-tolerance cost
+// (bench_ablation_puncturing).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/codec/block_store.h"
+#include "core/lattice/lattice.h"
+
+namespace aec {
+
+/// Drop every parity of class `cls` whose tail satisfies
+/// tail ≡ phase (mod period). period == 0 disables the spec.
+struct PunctureSpec {
+  StrandClass cls{StrandClass::kHorizontal};
+  std::uint32_t period = 0;
+  std::uint32_t phase = 0;
+
+  bool drops(Edge e) const noexcept {
+    return period != 0 && e.cls == cls &&
+           static_cast<std::uint64_t>(e.tail) % period == phase % period;
+  }
+};
+
+/// Erases the punctured parities from the store. Returns how many blocks
+/// were dropped.
+std::uint64_t puncture(BlockStore& store, const Lattice& lattice,
+                       std::span<const PunctureSpec> specs);
+
+/// Effective storage overhead (in percent of source data) after keeping
+/// only `kept_parity_fraction` of the α parities per data block.
+double punctured_overhead_percent(const CodeParams& params,
+                                  double kept_parity_fraction);
+
+}  // namespace aec

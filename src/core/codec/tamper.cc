@@ -1,0 +1,81 @@
+#include "core/codec/tamper.h"
+
+#include "common/check.h"
+#include "common/xor_engine.h"
+
+namespace aec {
+
+namespace {
+
+/// Checks one (data, input parity, output parity) triple. Returns:
+/// +1 consistent, -1 inconsistent, 0 not verifiable (some block missing).
+int check_triple(const BlockStore& store, const Lattice& lattice,
+                 NodeIndex i, StrandClass cls, std::size_t block_size) {
+  const Bytes* data = store.find(BlockKey::data(i));
+  if (data == nullptr) return 0;
+  const Bytes* out =
+      store.find(BlockKey::parity(lattice.output_edge(i, cls)));
+  if (out == nullptr) return 0;
+
+  Bytes expected;
+  if (auto in = lattice.input_edge(i, cls)) {
+    const Bytes* in_value = store.find(BlockKey::parity(*in));
+    if (in_value == nullptr) return 0;
+    expected = xor_blocks(*data, *in_value);
+  } else {
+    expected = *data;  // bootstrap input is the zero block
+  }
+  AEC_CHECK_MSG(expected.size() == block_size && out->size() == block_size,
+                "tamper check: inconsistent block sizes");
+  return expected == *out ? 1 : -1;
+}
+
+}  // namespace
+
+bool verify_node(const BlockStore& store, const Lattice& lattice,
+                 NodeIndex i, std::size_t block_size) {
+  for (StrandClass cls : lattice.params().classes())
+    if (check_triple(store, lattice, i, cls, block_size) < 0) return false;
+  return true;
+}
+
+TamperScanResult scan_for_tampering(const BlockStore& store,
+                                    const Lattice& lattice,
+                                    std::size_t block_size) {
+  TamperScanResult result;
+  const auto n = static_cast<NodeIndex>(lattice.n_nodes());
+  for (NodeIndex i = 1; i <= n; ++i) {
+    int verifiable = 0;
+    int inconsistent = 0;
+    for (StrandClass cls : lattice.params().classes()) {
+      const int v = check_triple(store, lattice, i, cls, block_size);
+      if (v != 0) ++verifiable;
+      if (v < 0) {
+        ++inconsistent;
+        result.inconsistent_parities.push_back(lattice.output_edge(i, cls));
+      }
+    }
+    if (verifiable > 0 && inconsistent == verifiable)
+      result.suspect_nodes.push_back(i);
+  }
+  return result;
+}
+
+std::uint64_t min_tamper_set_size(const Lattice& lattice, NodeIndex i) {
+  AEC_CHECK_MSG(lattice.boundary() == Lattice::Boundary::kOpen,
+                "tamper set size defined for open lattices");
+  AEC_CHECK_MSG(lattice.is_valid_node(i), "invalid node " << i);
+  std::uint64_t total = 0;
+  for (StrandClass cls : lattice.params().classes()) {
+    // Every node from i to the strand extremity contributes its output
+    // parity (all of them embed d_i's value).
+    NodeIndex cursor = i;
+    while (lattice.is_valid_node(cursor)) {
+      ++total;
+      cursor = lattice.output_index_raw(cursor, cls);
+    }
+  }
+  return total;
+}
+
+}  // namespace aec

@@ -1,0 +1,29 @@
+#include "core/codec/write_planner.h"
+
+#include "common/check.h"
+
+namespace aec {
+
+WritePlan plan_full_writes(const CodeParams& params,
+                           std::uint32_t window_columns) {
+  AEC_CHECK_MSG(window_columns >= 1, "window must have at least one column");
+  WritePlan plan{.params = params,
+                 .window_columns = window_columns,
+                 .wave = {}};
+
+  const std::uint32_t s = params.s();
+  plan.wave.assign(s, std::vector<std::uint32_t>(window_columns, 0));
+  for (std::uint32_t r = 0; r < s; ++r)
+    for (std::uint32_t c = 0; c < window_columns; ++c)
+      plan.wave[r][c] = c + 1;  // column c+1 seals in wave c+1
+
+  plan.waves = window_columns;
+  plan.buckets_per_wave = s;
+  plan.memory_blocks = params.total_strands();
+  plan.strand_utilization =
+      static_cast<double>(params.alpha()) * s /
+      static_cast<double>(params.total_strands());
+  return plan;
+}
+
+}  // namespace aec

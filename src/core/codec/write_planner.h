@@ -1,0 +1,52 @@
+// Full-write planning (paper §V-B, Fig 10).
+//
+// Model: a *wave* is one parallel batch of entanglement operations. The
+// strand head is a serial resource — a strand can advance by at most one
+// entanglement per wave. A column of s nodes touches α·s *distinct*
+// strand instances (this distinctness is exactly what the validity
+// condition p ≥ s guarantees), so one column is one parallel full-write:
+// all of its buckets seal in the same wave, using only parities already
+// in memory.
+//
+// Consequences the planner reports (and the bench prints):
+//   · buckets sealed per wave            = s
+//   · waves to write one lattice wrap    = p (a wrap is s·p blocks)
+//   · strand utilization per wave        = α·s / (s + (α−1)·p)
+// Utilization is 100 % iff s = p — the paper's "full-writes are optimized
+// when s = p". When p > s, (α−1)·(p−s) helical strands sit idle each wave
+// (their heads wait in memory), so the same parallel hardware seals fewer
+// buckets per wave; the alternative is partial writes, which compute the
+// helical parities of later columns early but cannot seal buckets sooner
+// because the horizontal strands pace every column.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lattice/code_params.h"
+
+namespace aec {
+
+struct WritePlan {
+  CodeParams params;
+  std::uint32_t window_columns;
+
+  /// wave[r][c] (0-based row/column): 1-based wave in which the bucket of
+  /// the node at row r+1, column c+1 seals.
+  std::vector<std::vector<std::uint32_t>> wave;
+
+  std::uint32_t waves = 0;              ///< total waves for the window
+  std::uint32_t buckets_per_wave = 0;   ///< s
+  double strand_utilization = 0.0;      ///< α·s / (s + (α−1)·p)
+  /// Parity blocks that must stay in memory while the full-write runs:
+  /// one head per strand instance (paper: O(N), N = parities in the
+  /// full-write; the steady-state floor is the strand count).
+  std::uint32_t memory_blocks = 0;
+};
+
+/// Plans the full-write of `window_columns` consecutive columns appended
+/// to an existing lattice. AE(1) degenerates to one node per column.
+WritePlan plan_full_writes(const CodeParams& params,
+                           std::uint32_t window_columns);
+
+}  // namespace aec

@@ -1,0 +1,104 @@
+#include "core/lattice/multi_pitch.h"
+
+#include <numeric>
+#include <set>
+
+#include "common/check.h"
+
+namespace aec::experimental {
+
+MultiPitchLattice::MultiPitchLattice(std::vector<std::uint32_t> pitches)
+    : pitches_(std::move(pitches)) {
+  AEC_CHECK_MSG(!pitches_.empty() && pitches_.size() <= 5,
+                "alpha must be in [1,5]");
+  AEC_CHECK_MSG(pitches_[0] == 1, "class 1 must be the horizontal chain");
+  std::set<std::uint32_t> distinct(pitches_.begin(), pitches_.end());
+  AEC_CHECK_MSG(distinct.size() == pitches_.size(),
+                "pitches must be distinct (equal pitches duplicate "
+                "strands — the degenerate s = p effect)");
+  for (std::uint32_t p : pitches_)
+    AEC_CHECK_MSG(p >= 1, "pitches must be positive");
+}
+
+std::uint64_t MultiPitchLattice::me2_size() const {
+  // Two erased nodes must share a strand of every class: their offset δ
+  // is a multiple of every pitch, minimized at δ = lcm(pitches). The
+  // dead run on class k then costs δ / p_k edges.
+  std::uint64_t delta = 1;
+  for (std::uint32_t p : pitches_) delta = std::lcm<std::uint64_t>(delta, p);
+  std::uint64_t size = 2;  // the two data blocks
+  for (std::uint32_t p : pitches_) size += delta / p;
+  return size;
+}
+
+std::uint64_t MultiPitchLattice::simulate_loss(std::uint64_t n,
+                                               double loss_rate,
+                                               std::uint64_t seed) const {
+  std::uint64_t wrap = 1;
+  for (std::uint32_t p : pitches_) wrap = std::lcm<std::uint64_t>(wrap, p);
+  AEC_CHECK_MSG(n % wrap == 0 && n >= 2 * wrap,
+                "ring size must be a multiple of lcm(pitches), got " << n);
+  const std::uint32_t a = alpha();
+
+  Rng rng(seed);
+  std::vector<std::uint8_t> node_ok(n, 1);
+  std::vector<std::vector<std::uint8_t>> edge_ok(
+      a, std::vector<std::uint8_t>(n, 1));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(loss_rate)) node_ok[i] = 0;
+    for (std::uint32_t k = 0; k < a; ++k)
+      if (rng.bernoulli(loss_rate)) edge_ok[k][i] = 0;
+  }
+
+  const auto back = [&](std::uint64_t i, std::uint32_t k) {
+    return (i + n - pitches_[k]) % n;
+  };
+  const auto fwd = [&](std::uint64_t i, std::uint32_t k) {
+    return (i + pitches_[k]) % n;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!node_ok[i]) {
+        for (std::uint32_t k = 0; k < a; ++k) {
+          if (edge_ok[k][back(i, k)] && edge_ok[k][i]) {
+            node_ok[i] = 1;
+            progress = true;
+            break;
+          }
+        }
+      }
+      for (std::uint32_t k = 0; k < a; ++k) {
+        if (edge_ok[k][i]) continue;
+        // Edge (k, i) runs i → i + p_k.
+        const bool via_tail = node_ok[i] && edge_ok[k][back(i, k)];
+        const bool via_head =
+            node_ok[fwd(i, k)] && edge_ok[k][fwd(i, k)];
+        if (via_tail || via_head) {
+          edge_ok[k][i] = 1;
+          progress = true;
+        }
+      }
+    }
+  }
+  std::uint64_t lost = 0;
+  for (std::uint64_t i = 0; i < n; ++i)
+    if (!node_ok[i]) ++lost;
+  return lost;
+}
+
+MultiPitchLattice make_pitch_ladder(std::uint32_t alpha, std::uint32_t p) {
+  AEC_CHECK_MSG(alpha >= 1 && alpha <= 5, "alpha must be in [1,5]");
+  AEC_CHECK_MSG(p >= 2, "ladder needs p >= 2");
+  std::vector<std::uint32_t> pitches{1};
+  std::uint32_t pitch = p;
+  for (std::uint32_t k = 1; k < alpha; ++k) {
+    pitches.push_back(pitch);
+    pitch *= p;
+  }
+  return MultiPitchLattice(std::move(pitches));
+}
+
+}  // namespace aec::experimental

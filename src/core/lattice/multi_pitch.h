@@ -1,0 +1,61 @@
+// Experimental n-tuple entanglements beyond α = 3 (paper §V-A "Beyond
+// α = 3").
+//
+// The paper leaves open "how to connect the extra helical strands" and
+// suggests strands with a different slope. On a single-row lattice
+// (s = 1) the natural generalization is *pitch diversity*: helical class
+// k advances p_k positions per step, so AE*(α; p_1=1, p_2, …, p_α) gives
+// every node α strand classes with distinct reach. Class 1 (pitch 1) is
+// the horizontal chain; classes with equal pitch would duplicate each
+// other (the degenerate s = p effect), so pitches must be distinct.
+//
+// This module is self-contained (it does not extend StrandClass): a
+// minimal lattice, an availability fixpoint, and an |ME(2)| search, used
+// by tests and bench_extension_alpha4 to probe whether the paper's
+// conjecture — fault tolerance keeps growing substantially with α —
+// holds for the pitch-diverse construction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace aec::experimental {
+
+/// AE*(α; pitches): one node row, α strand classes of distinct pitch.
+/// pitches[0] must be 1 (the horizontal chain).
+class MultiPitchLattice {
+ public:
+  explicit MultiPitchLattice(std::vector<std::uint32_t> pitches);
+
+  std::uint32_t alpha() const noexcept {
+    return static_cast<std::uint32_t>(pitches_.size());
+  }
+  const std::vector<std::uint32_t>& pitches() const noexcept {
+    return pitches_;
+  }
+  double storage_overhead_percent() const noexcept {
+    return 100.0 * alpha();
+  }
+
+  /// |ME(2)| by the dead-run argument: the cheapest pair of nodes lying
+  /// on a common strand of every class, plus the connecting runs.
+  std::uint64_t me2_size() const;
+
+  /// Availability fixpoint over a ring of n nodes with random block
+  /// erasures at `loss_rate`; returns unrecovered data blocks.
+  std::uint64_t simulate_loss(std::uint64_t n, double loss_rate,
+                              std::uint64_t seed) const;
+
+ private:
+  std::vector<std::uint32_t> pitches_;
+};
+
+/// The paper-aligned default ladder: α=1 → {1}; α=2 → {1,p}; α=3 →
+/// {1,p,p} is *invalid* here (duplicate pitch ⇒ duplicated strands), so
+/// the ladder grows pitches geometrically: {1, p, p², …} capped at α=5.
+MultiPitchLattice make_pitch_ladder(std::uint32_t alpha, std::uint32_t p);
+
+}  // namespace aec::experimental

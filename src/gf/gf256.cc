@@ -1,0 +1,89 @@
+#include "gf/gf256.h"
+
+#include "common/check.h"
+
+namespace aec::gf {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x11D;  // x^8+x^4+x^3+x^2+1
+constexpr Elem kGenerator = 0x02;
+
+struct Tables {
+  std::array<Elem, 512> exp{};  // doubled to skip a mod-255 per multiply
+  std::array<std::uint8_t, 256> log{};
+
+  Tables() {
+    std::uint32_t x = 1;
+    for (std::uint32_t k = 0; k < 255; ++k) {
+      exp[k] = static_cast<Elem>(x);
+      log[x] = static_cast<std::uint8_t>(k);
+      x <<= 1;
+      if (x & 0x100) x ^= kPoly;
+    }
+    for (std::uint32_t k = 255; k < 512; ++k) exp[k] = exp[k - 255];
+    log[0] = 0;  // never read; mul/div guard zero operands
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+Elem mul(Elem a, Elem b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+}
+
+Elem div(Elem a, Elem b) {
+  AEC_CHECK_MSG(b != 0, "GF(256): division by zero");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + 255 - t.log[b]];
+}
+
+Elem inv(Elem a) {
+  AEC_CHECK_MSG(a != 0, "GF(256): zero has no inverse");
+  const Tables& t = tables();
+  return t.exp[255 - static_cast<std::size_t>(t.log[a])];
+}
+
+Elem pow(Elem a, std::uint32_t n) noexcept {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const std::uint32_t e =
+      (static_cast<std::uint32_t>(t.log[a]) * n) % 255;
+  return t.exp[e];
+}
+
+Elem exp_table(std::uint8_t k) noexcept { return tables().exp[k]; }
+
+std::uint8_t log_table(Elem a) {
+  AEC_CHECK_MSG(a != 0, "GF(256): log of zero");
+  return tables().log[a];
+}
+
+void mul_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+             Elem coeff) noexcept {
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    for (std::size_t k = 0; k < n; ++k) dst[k] ^= src[k];
+    return;
+  }
+  // Per-coefficient 256-entry product table: one table build amortized
+  // over the whole buffer, then a single lookup per byte.
+  const Tables& t = tables();
+  std::array<std::uint8_t, 256> row;
+  row[0] = 0;
+  const std::uint32_t log_c = t.log[coeff];
+  for (std::uint32_t v = 1; v < 256; ++v)
+    row[v] = t.exp[log_c + t.log[v]];
+  for (std::size_t k = 0; k < n; ++k) dst[k] ^= row[src[k]];
+}
+
+}  // namespace aec::gf

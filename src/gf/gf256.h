@@ -1,0 +1,44 @@
+// GF(2^8) arithmetic over the AES/Rijndael-compatible polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the field conventionally used by
+// storage Reed-Solomon implementations. Multiplication and division go
+// through log/exp tables built once at static initialization.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace aec::gf {
+
+/// Field element.
+using Elem = std::uint8_t;
+
+/// a + b and a − b coincide in characteristic 2.
+constexpr Elem add(Elem a, Elem b) noexcept {
+  return static_cast<Elem>(a ^ b);
+}
+constexpr Elem sub(Elem a, Elem b) noexcept { return add(a, b); }
+
+/// a · b via log/exp tables.
+Elem mul(Elem a, Elem b) noexcept;
+
+/// a / b. Throws CheckError on division by zero.
+Elem div(Elem a, Elem b);
+
+/// Multiplicative inverse. Throws CheckError for 0.
+Elem inv(Elem a);
+
+/// a^n (n ≥ 0).
+Elem pow(Elem a, std::uint32_t n) noexcept;
+
+/// exp table access: generator^k for k in [0, 255).
+Elem exp_table(std::uint8_t k) noexcept;
+
+/// log table access: log_generator(a) for a ≠ 0.
+std::uint8_t log_table(Elem a);
+
+/// Multiply-accumulate over buffers: dst[k] ^= coeff · src[k].
+/// The workhorse of RS encoding/decoding.
+void mul_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+             Elem coeff) noexcept;
+
+}  // namespace aec::gf

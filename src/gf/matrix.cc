@@ -1,0 +1,105 @@
+#include "gf/matrix.h"
+
+#include "common/check.h"
+
+namespace aec::gf {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), cells_(rows * cols, 0) {
+  AEC_CHECK_MSG(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, 1);
+  return m;
+}
+
+Elem Matrix::at(std::size_t r, std::size_t c) const {
+  AEC_DCHECK(r < rows_ && c < cols_);
+  return cells_[r * cols_ + c];
+}
+
+void Matrix::set(std::size_t r, std::size_t c, Elem v) {
+  AEC_DCHECK(r < rows_ && c < cols_);
+  cells_[r * cols_ + c] = v;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  AEC_CHECK_MSG(cols_ == other.rows_, "matrix multiply: dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Elem a = at(i, k);
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j)
+        out.set(i, j, add(out.at(i, j), mul(a, other.at(k, j))));
+    }
+  }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  AEC_CHECK_MSG(rows_ == cols_, "inversion requires a square matrix");
+  const std::size_t n = rows_;
+  Matrix work = *this;
+  Matrix out = Matrix::identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot search.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;  // singular
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(work.cells_[pivot * n + j], work.cells_[col * n + j]);
+        std::swap(out.cells_[pivot * n + j], out.cells_[col * n + j]);
+      }
+    }
+    // Normalize the pivot row.
+    const Elem scale = inv(work.at(col, col));
+    for (std::size_t j = 0; j < n; ++j) {
+      work.set(col, j, mul(work.at(col, j), scale));
+      out.set(col, j, mul(out.at(col, j), scale));
+    }
+    // Eliminate the column everywhere else.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const Elem factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        work.set(r, j, add(work.at(r, j), mul(factor, work.at(col, j))));
+        out.set(r, j, add(out.at(r, j), mul(factor, out.at(col, j))));
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& indices) const {
+  AEC_CHECK_MSG(!indices.empty(), "select_rows: no rows selected");
+  Matrix out(indices.size(), cols_);
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    AEC_CHECK_MSG(indices[r] < rows_, "select_rows: index out of range");
+    for (std::size_t c = 0; c < cols_; ++c)
+      out.set(r, c, at(indices[r], c));
+  }
+  return out;
+}
+
+Matrix cauchy_parity_matrix(std::size_t k, std::size_t m) {
+  AEC_CHECK_MSG(k + m <= 256,
+                "Cauchy construction requires k + m <= 256, got k="
+                    << k << " m=" << m);
+  Matrix c(m, k);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const Elem x = static_cast<Elem>(k + i);
+      const Elem y = static_cast<Elem>(j);
+      c.set(i, j, inv(add(x, y)));  // x_i ≠ y_j by construction
+    }
+  }
+  return c;
+}
+
+}  // namespace aec::gf

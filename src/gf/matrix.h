@@ -1,0 +1,47 @@
+// Dense matrices over GF(2^8) with Gauss-Jordan inversion — the decoding
+// substrate for Reed-Solomon.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gf/gf256.h"
+
+namespace aec::gf {
+
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  Elem at(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, Elem v);
+
+  /// this · other. Dimensions must agree.
+  Matrix multiply(const Matrix& other) const;
+
+  /// Inverse via Gauss-Jordan, or nullopt if singular. Requires square.
+  std::optional<Matrix> inverted() const;
+
+  /// Rows `indices` of this matrix, in order.
+  Matrix select_rows(const std::vector<std::size_t>& indices) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Elem> cells_;  // row-major
+};
+
+/// k×k Cauchy block C with C[i][j] = 1/(x_i + y_j), x_i = k + i,
+/// y_j = j: every square submatrix is nonsingular, which makes the
+/// systematic generator [I; C] MDS. Requires m + k ≤ 256.
+Matrix cauchy_parity_matrix(std::size_t k, std::size_t m);
+
+}  // namespace aec::gf

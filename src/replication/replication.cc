@@ -1,0 +1,32 @@
+#include "replication/replication.h"
+
+#include "common/check.h"
+
+namespace aec::replication {
+
+Replication::Replication(std::uint32_t n) : n_(n) {
+  AEC_CHECK_MSG(n >= 1, "replication needs at least one copy");
+}
+
+double Replication::storage_overhead_percent() const noexcept {
+  return 100.0 * (n_ - 1);
+}
+
+std::string Replication::name() const {
+  return std::to_string(n_) + "-way replication";
+}
+
+std::vector<Bytes> Replication::encode(const Bytes& block) const {
+  return std::vector<Bytes>(n_, block);
+}
+
+std::optional<Bytes> Replication::decode(
+    const std::vector<std::optional<Bytes>>& copies) const {
+  AEC_CHECK_MSG(copies.size() == n_,
+                "decode: expected " << n_ << " copies");
+  for (const auto& copy : copies)
+    if (copy) return *copy;
+  return std::nullopt;
+}
+
+}  // namespace aec::replication

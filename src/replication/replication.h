@@ -1,0 +1,41 @@
+// n-way replication — the paper's second comparator. Trivial codec kept
+// behind the same vocabulary as the erasure codes so the simulation and
+// the benches can treat all schemes uniformly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace aec::replication {
+
+class Replication {
+ public:
+  /// n total copies (n-way). n ≥ 1.
+  explicit Replication(std::uint32_t n);
+
+  std::uint32_t copies() const noexcept { return n_; }
+
+  /// (n−1)·100 % (paper Table IV).
+  double storage_overhead_percent() const noexcept;
+
+  std::string name() const;
+
+  /// The n copies of a block.
+  std::vector<Bytes> encode(const Bytes& block) const;
+
+  /// First surviving copy, or nullopt if all are gone.
+  std::optional<Bytes> decode(
+      const std::vector<std::optional<Bytes>>& copies) const;
+
+  /// Blocks read to repair one lost copy: 1 (no decode needed).
+  std::uint32_t single_failure_fanin() const noexcept { return 1; }
+
+ private:
+  std::uint32_t n_;
+};
+
+}  // namespace aec::replication

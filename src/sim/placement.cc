@@ -1,0 +1,72 @@
+#include "sim/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+
+namespace aec::sim {
+
+std::vector<LocationId> place_blocks(std::uint64_t count,
+                                     std::uint32_t n_locations,
+                                     PlacementPolicy policy, Rng& rng) {
+  AEC_CHECK_MSG(n_locations >= 1, "need at least one location");
+  std::vector<LocationId> locations(count);
+  if (policy == PlacementPolicy::kRoundRobin) {
+    for (std::uint64_t b = 0; b < count; ++b)
+      locations[b] = static_cast<LocationId>(b % n_locations);
+  } else {
+    for (std::uint64_t b = 0; b < count; ++b)
+      locations[b] = static_cast<LocationId>(rng.uniform(n_locations));
+  }
+  return locations;
+}
+
+std::vector<std::uint8_t> draw_failed_locations(std::uint32_t n_locations,
+                                                double fraction, Rng& rng) {
+  AEC_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
+                "disaster fraction must be in [0,1]");
+  const auto target = static_cast<std::uint32_t>(
+      std::llround(std::ceil(fraction * n_locations)));
+  std::vector<LocationId> ids(n_locations);
+  for (std::uint32_t i = 0; i < n_locations; ++i) ids[i] = i;
+  // Partial Fisher-Yates: the first `target` entries are the victims.
+  for (std::uint32_t i = 0; i < target; ++i) {
+    const auto j = i + static_cast<std::uint32_t>(
+                           rng.uniform(n_locations - i));
+    std::swap(ids[i], ids[j]);
+  }
+  std::vector<std::uint8_t> failed(n_locations, 0);
+  for (std::uint32_t i = 0; i < target; ++i) failed[ids[i]] = 1;
+  return failed;
+}
+
+Summary per_location_summary(std::span<const LocationId> locations,
+                             std::uint32_t n_locations) {
+  std::vector<std::uint64_t> counts(n_locations, 0);
+  for (LocationId loc : locations) {
+    AEC_DCHECK(loc < n_locations);
+    ++counts[loc];
+  }
+  return summarize_counts(counts);
+}
+
+Histogram stripe_spread_histogram(std::span<const LocationId> locations,
+                                  std::size_t stripe_size) {
+  AEC_CHECK_MSG(stripe_size >= 1, "stripe size must be positive");
+  AEC_CHECK_MSG(locations.size() % stripe_size == 0,
+                "locations not a whole number of stripes");
+  Histogram histogram;
+  std::set<LocationId> distinct;
+  for (std::size_t offset = 0; offset < locations.size();
+       offset += stripe_size) {
+    distinct.clear();
+    for (std::size_t b = 0; b < stripe_size; ++b)
+      distinct.insert(locations[offset + b]);
+    histogram.add(static_cast<std::int64_t>(distinct.size()));
+  }
+  return histogram;
+}
+
+}  // namespace aec::sim

@@ -1,0 +1,38 @@
+// Block placement over storage locations + the placement statistics the
+// paper reports in §V-C "Block Placements".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/scheme.h"
+
+namespace aec::sim {
+
+/// Assigns `count` blocks to locations. kRandom: independent uniform
+/// draws (the paper's choice — collisions within a stripe are possible
+/// and measured). kRoundRobin: block b → b mod n_locations.
+std::vector<LocationId> place_blocks(std::uint64_t count,
+                                     std::uint32_t n_locations,
+                                     PlacementPolicy policy, Rng& rng);
+
+/// The failed-location set of a disaster: ceil(fraction · n) distinct
+/// locations drawn without replacement. Returned as a membership bitmap
+/// of size n_locations.
+std::vector<std::uint8_t> draw_failed_locations(std::uint32_t n_locations,
+                                                double fraction, Rng& rng);
+
+/// Blocks per location (for the mean/σ the paper quotes).
+Summary per_location_summary(std::span<const LocationId> locations,
+                             std::uint32_t n_locations);
+
+/// Histogram of "how many distinct locations does each stripe span",
+/// stripes being consecutive runs of `stripe_size` entries. Reproduces
+/// the paper's "8 (5), 9 (39), 10 (475), …" distribution.
+Histogram stripe_spread_histogram(std::span<const LocationId> locations,
+                                  std::size_t stripe_size);
+
+}  // namespace aec::sim

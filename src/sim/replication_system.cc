@@ -1,0 +1,57 @@
+#include "sim/replication_system.h"
+
+#include "common/check.h"
+#include "sim/placement.h"
+
+namespace aec::sim {
+
+ReplicationScheme::ReplicationScheme(std::uint32_t copies)
+    : copies_(copies) {
+  AEC_CHECK_MSG(copies >= 1, "replication needs at least one copy");
+}
+
+std::string ReplicationScheme::name() const {
+  return std::to_string(copies_) + "-way replication";
+}
+
+double ReplicationScheme::storage_overhead_percent() const {
+  return 100.0 * (copies_ - 1);
+}
+
+std::uint64_t ReplicationScheme::total_blocks(std::uint64_t n_data) const {
+  return n_data * copies_;
+}
+
+DisasterResult ReplicationScheme::run_disaster(
+    std::uint64_t n_data, const DisasterConfig& config) const {
+  DisasterResult result;
+  result.scheme = name();
+  result.failed_fraction = config.failed_fraction;
+  result.data_blocks = n_data;
+
+  Rng rng(config.seed);
+  const std::vector<LocationId> locations = place_blocks(
+      n_data * copies_, config.n_locations, config.placement, rng);
+  const std::vector<std::uint8_t> failed =
+      draw_failed_locations(config.n_locations, config.failed_fraction, rng);
+
+  for (std::uint64_t b = 0; b < n_data; ++b) {
+    std::uint32_t alive = 0;
+    for (std::uint32_t c = 0; c < copies_; ++c)
+      if (!failed[locations[b * copies_ + c]]) ++alive;
+    if (alive == 0) {
+      ++result.data_unavailable;
+      ++result.data_lost;
+    } else if (alive == 1 && copies_ > 1) {
+      ++result.vulnerable_data;  // one disk away from loss, no repair done
+    }
+  }
+  return result;
+}
+
+std::unique_ptr<RedundancyScheme> make_replication_scheme(
+    std::uint32_t copies) {
+  return std::make_unique<ReplicationScheme>(copies);
+}
+
+}  // namespace aec::sim

@@ -1,0 +1,35 @@
+// n-way replication disaster simulation (paper §V-C reference lines).
+//
+// A block is lost iff all n copies sit at failed locations. There is no
+// decode; minimal maintenance performs no re-replication, so a block
+// whose survivors shrank to a single copy counts as vulnerable.
+#pragma once
+
+#include <memory>
+
+#include "sim/scheme.h"
+
+namespace aec::sim {
+
+class ReplicationScheme final : public RedundancyScheme {
+ public:
+  explicit ReplicationScheme(std::uint32_t copies);
+
+  std::string name() const override;
+  double storage_overhead_percent() const override;
+  std::uint32_t single_failure_fanin() const override { return 1; }
+  std::uint64_t total_blocks(std::uint64_t n_data) const override;
+
+  DisasterResult run_disaster(std::uint64_t n_data,
+                              const DisasterConfig& config) const override;
+
+  std::uint32_t copies() const noexcept { return copies_; }
+
+ private:
+  std::uint32_t copies_;
+};
+
+std::unique_ptr<RedundancyScheme> make_replication_scheme(
+    std::uint32_t copies);
+
+}  // namespace aec::sim

@@ -1,0 +1,43 @@
+// Table-driven RS(k, m) disaster simulation (paper §V-C).
+//
+// Stripes are independent: a stripe with ≤ m unavailable blocks is fully
+// repairable (one decode); beyond m, exactly its unavailable *data*
+// blocks count as lost (paper's data-loss metric: available blocks of
+// damaged stripes are not counted). Under minimal maintenance only
+// stripes containing an unavailable data block are repaired — parities of
+// such stripes are regenerated as a side effect ("part of the same
+// stripe"), parity-only-degraded stripes are left alone.
+#pragma once
+
+#include <memory>
+
+#include "sim/scheme.h"
+
+namespace aec::sim {
+
+class RsScheme final : public RedundancyScheme {
+ public:
+  RsScheme(std::uint32_t k, std::uint32_t m);
+
+  std::string name() const override;
+  double storage_overhead_percent() const override;
+  /// Repairing one failure reads k blocks (paper Table IV).
+  std::uint32_t single_failure_fanin() const override { return k_; }
+  std::uint64_t total_blocks(std::uint64_t n_data) const override;
+
+  /// n_data is rounded down to a multiple of k.
+  DisasterResult run_disaster(std::uint64_t n_data,
+                              const DisasterConfig& config) const override;
+
+  std::uint32_t k() const noexcept { return k_; }
+  std::uint32_t m() const noexcept { return m_; }
+
+ private:
+  std::uint32_t k_;
+  std::uint32_t m_;
+};
+
+std::unique_ptr<RedundancyScheme> make_rs_scheme(std::uint32_t k,
+                                                 std::uint32_t m);
+
+}  // namespace aec::sim

@@ -1,0 +1,33 @@
+#include "sim/runner.h"
+
+#include <cstdlib>
+
+namespace aec::sim {
+
+std::vector<DisasterResult> run_sweep(const RedundancyScheme& scheme,
+                                      const SweepConfig& config) {
+  std::vector<DisasterResult> results;
+  results.reserve(config.fractions.size());
+  std::uint64_t salt = 0;
+  for (double fraction : config.fractions) {
+    DisasterConfig dc;
+    dc.n_locations = config.n_locations;
+    dc.failed_fraction = fraction;
+    dc.seed = config.seed + 1000003 * ++salt;
+    dc.maintenance = config.maintenance;
+    dc.placement = config.placement;
+    results.push_back(scheme.run_disaster(config.n_data, dc));
+  }
+  return results;
+}
+
+std::uint64_t blocks_from_env(std::uint64_t fallback) {
+  const char* env = std::getenv("AEC_BLOCKS");
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || parsed == 0) return fallback;
+  return parsed;
+}
+
+}  // namespace aec::sim

@@ -1,0 +1,33 @@
+// Sweep driver: runs a scheme across the paper's disaster sizes with a
+// shared configuration, and small environment helpers for the benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/scheme.h"
+
+namespace aec::sim {
+
+struct SweepConfig {
+  /// Source data blocks (paper: 1,000,000). Override with AEC_BLOCKS.
+  std::uint64_t n_data = 1'000'000;
+  std::uint32_t n_locations = 100;
+  /// Disaster sizes as location fractions (paper: 10–50 %).
+  std::vector<double> fractions = {0.10, 0.20, 0.30, 0.40, 0.50};
+  std::uint64_t seed = 2018;
+  MaintenanceMode maintenance = MaintenanceMode::kFull;
+  PlacementPolicy placement = PlacementPolicy::kRandom;
+};
+
+/// One DisasterResult per fraction. The per-fraction seed is derived from
+/// config.seed so every scheme sees the same location-failure draw order.
+std::vector<DisasterResult> run_sweep(const RedundancyScheme& scheme,
+                                      const SweepConfig& config);
+
+/// Reads AEC_BLOCKS from the environment (benches use it to scale the
+/// paper's 1M-block experiments down for quick runs). Falls back to
+/// `fallback` when unset or unparsable.
+std::uint64_t blocks_from_env(std::uint64_t fallback);
+
+}  // namespace aec::sim

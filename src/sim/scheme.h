@@ -1,0 +1,91 @@
+// Scheme-agnostic disaster-recovery vocabulary (paper §V-C).
+//
+// A RedundancyScheme owns the full table-driven simulation of one
+// redundancy method: synthetic blocks, placement over n locations,
+// disaster injection (a fraction of locations becomes unavailable) and
+// the repair process, reported through the paper's four metrics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace aec::sim {
+
+using LocationId = std::uint32_t;
+
+/// Paper §V-C-2: "minimal maintenance happens when the decoder repairs
+/// unavailable data blocks but makes no attempts to repair unavailable
+/// parities" (except those needed by / part of a data repair).
+enum class MaintenanceMode { kFull, kMinimal };
+
+/// Block placement policy (paper §V-C "Block Placements": the evaluation
+/// uses random placement; round-robin is the earlier work's policy and is
+/// ablated in bench_ablation_placement).
+enum class PlacementPolicy { kRandom, kRoundRobin };
+
+struct DisasterConfig {
+  std::uint32_t n_locations = 100;
+  /// Fraction of locations made unavailable (paper: 0.10 … 0.50).
+  double failed_fraction = 0.10;
+  std::uint64_t seed = 1;
+  MaintenanceMode maintenance = MaintenanceMode::kFull;
+  PlacementPolicy placement = PlacementPolicy::kRandom;
+};
+
+/// Outcome of one disaster experiment.
+struct DisasterResult {
+  std::string scheme;
+  double failed_fraction = 0.0;
+
+  std::uint64_t data_blocks = 0;        ///< N (data only)
+  std::uint64_t data_unavailable = 0;   ///< data blocks hit by the disaster
+  std::uint64_t data_repaired = 0;      ///< regenerated data blocks
+  std::uint64_t data_lost = 0;          ///< Fig 11: unavailable ∧ unrepaired
+  std::uint64_t parity_repaired = 0;    ///< regenerated parity blocks
+  std::uint32_t repair_rounds = 0;      ///< Table VI (AE only; RS/repl: ≤1)
+  /// Fig 13 numerator: data repairs that were single failures — AE: solved
+  /// in round 1; RS: the only unavailable block of their stripe.
+  std::uint64_t single_failure_repairs = 0;
+  /// Fig 12: available data blocks left with no complete repair
+  /// alternative after the (minimal-maintenance) repair pass.
+  std::uint64_t vulnerable_data = 0;
+
+  double vulnerable_percent() const {
+    return data_blocks == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(vulnerable_data) /
+                     static_cast<double>(data_blocks);
+  }
+  double single_failure_percent() const {
+    return data_repaired == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(single_failure_repairs) /
+                     static_cast<double>(data_repaired);
+  }
+};
+
+/// One redundancy method under test.
+class RedundancyScheme {
+ public:
+  virtual ~RedundancyScheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Additional storage as % of source data (paper Table IV "AS").
+  virtual double storage_overhead_percent() const = 0;
+
+  /// Blocks read to repair one single failure (paper Table IV "SF").
+  virtual std::uint32_t single_failure_fanin() const = 0;
+
+  /// Total stored blocks (data + redundancy) for n_data source blocks.
+  virtual std::uint64_t total_blocks(std::uint64_t n_data) const = 0;
+
+  /// Runs one full experiment: place → disaster → repair → measure.
+  /// Implementations may round n_data down to a structural multiple;
+  /// the result reports the count actually simulated.
+  virtual DisasterResult run_disaster(std::uint64_t n_data,
+                                      const DisasterConfig& config) const = 0;
+};
+
+}  // namespace aec::sim

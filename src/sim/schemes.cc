@@ -1,0 +1,46 @@
+#include "sim/schemes.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace aec::sim {
+
+std::vector<std::unique_ptr<RedundancyScheme>> paper_schemes() {
+  std::vector<std::unique_ptr<RedundancyScheme>> schemes;
+  schemes.push_back(make_rs_scheme(10, 4));
+  schemes.push_back(make_rs_scheme(8, 2));
+  schemes.push_back(make_rs_scheme(5, 5));
+  schemes.push_back(make_rs_scheme(4, 12));
+  schemes.push_back(make_ae_scheme(CodeParams::single()));
+  schemes.push_back(make_ae_scheme(CodeParams(2, 2, 5)));
+  schemes.push_back(make_ae_scheme(CodeParams(3, 2, 5)));
+  return schemes;
+}
+
+std::vector<std::unique_ptr<RedundancyScheme>> replication_schemes() {
+  std::vector<std::unique_ptr<RedundancyScheme>> schemes;
+  for (std::uint32_t n : {2u, 3u, 4u})
+    schemes.push_back(make_replication_scheme(n));
+  return schemes;
+}
+
+std::unique_ptr<RedundancyScheme> make_scheme(const std::string& name) {
+  unsigned a = 0;
+  unsigned b = 0;
+  unsigned c = 0;
+  if (std::sscanf(name.c_str(), "RS(%u,%u)", &a, &b) == 2)
+    return make_rs_scheme(a, b);
+  if (name == "AE(1,-,-)" || name == "AE(1)")
+    return make_ae_scheme(CodeParams::single());
+  if (std::sscanf(name.c_str(), "AE(%u,%u,%u)", &a, &b, &c) == 3)
+    return make_ae_scheme(CodeParams(a, b, c));
+  if (std::sscanf(name.c_str(), "%u-way replication", &a) == 1)
+    return make_replication_scheme(a);
+  if (std::sscanf(name.c_str(), "replication(%u)", &a) == 1)
+    return make_replication_scheme(a);
+  AEC_CHECK_MSG(false, "unknown scheme name: " << name);
+  return nullptr;
+}
+
+}  // namespace aec::sim

@@ -1,0 +1,184 @@
+#include "store/entangled_mirror.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace aec::store {
+
+const char* to_string(ArrayLayout layout) noexcept {
+  switch (layout) {
+    case ArrayLayout::kMirroring:
+      return "mirroring";
+    case ArrayLayout::kFullPartitionOpen:
+      return "full-partition open chain";
+    case ArrayLayout::kFullPartitionClosed:
+      return "full-partition closed chain";
+    case ArrayLayout::kStripingOpen:
+      return "block striping open chain";
+    case ArrayLayout::kStripingClosed:
+      return "block striping closed chain";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Availability fixpoint of an AE(1) lattice whose node/edge availability
+/// is given by two bitmaps. Returns true iff every unavailable block is
+/// repairable (no data loss).
+bool chain_recovers(const Lattice& lat, std::vector<std::uint8_t>& node_ok,
+                    std::vector<std::uint8_t>& edge_ok) {
+  const auto n = static_cast<NodeIndex>(lat.n_nodes());
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (NodeIndex i = 1; i <= n; ++i) {
+      if (!node_ok[static_cast<std::size_t>(i)]) {
+        const auto in = lat.input_edge(i, StrandClass::kHorizontal);
+        const bool in_ok =
+            !in || edge_ok[static_cast<std::size_t>(in->tail)];
+        if (in_ok && edge_ok[static_cast<std::size_t>(i)]) {
+          node_ok[static_cast<std::size_t>(i)] = 1;
+          progress = true;
+        }
+      }
+      if (!edge_ok[static_cast<std::size_t>(i)]) {
+        // Option A: tail node + predecessor edge.
+        const auto in = lat.input_edge(i, StrandClass::kHorizontal);
+        const bool in_ok =
+            !in || edge_ok[static_cast<std::size_t>(in->tail)];
+        bool repaired =
+            in_ok && node_ok[static_cast<std::size_t>(i)] != 0;
+        // Option B: head node + successor edge.
+        if (!repaired) {
+          const NodeIndex j =
+              lat.edge_head(Edge{StrandClass::kHorizontal, i});
+          repaired = lat.is_valid_node(j) &&
+                     node_ok[static_cast<std::size_t>(j)] &&
+                     edge_ok[static_cast<std::size_t>(j)];
+        }
+        if (repaired) {
+          edge_ok[static_cast<std::size_t>(i)] = 1;
+          progress = true;
+        }
+      }
+    }
+  }
+  return std::find(node_ok.begin() + 1, node_ok.end(), 0) ==
+             node_ok.end() &&
+         std::find(edge_ok.begin() + 1, edge_ok.end(), 0) == edge_ok.end();
+}
+
+}  // namespace
+
+bool drives_cause_data_loss(ArrayLayout layout,
+                            const std::vector<std::uint8_t>& down,
+                            std::uint32_t data_drives,
+                            std::uint32_t striping_blocks) {
+  const std::uint32_t n = data_drives;
+  AEC_CHECK_MSG(down.size() == 2 * n, "down bitmap must cover 2n drives");
+
+  switch (layout) {
+    case ArrayLayout::kMirroring: {
+      // Pair k = drives (2k, 2k+1).
+      for (std::uint32_t k = 0; k < n; ++k)
+        if (down[2 * k] && down[2 * k + 1]) return true;
+      return false;
+    }
+    case ArrayLayout::kFullPartitionOpen:
+    case ArrayLayout::kFullPartitionClosed: {
+      // Drive-granular chain: node i ↔ drive 2(i−1), edge i ↔ 2(i−1)+1.
+      const bool open = layout == ArrayLayout::kFullPartitionOpen;
+      const Lattice lat(CodeParams::single(), n,
+                        open ? Lattice::Boundary::kOpen
+                             : Lattice::Boundary::kClosed);
+      std::vector<std::uint8_t> node_ok(n + 1, 1);
+      std::vector<std::uint8_t> edge_ok(n + 1, 1);
+      for (std::uint32_t i = 1; i <= n; ++i) {
+        node_ok[i] = down[2 * (i - 1)] ? 0 : 1;
+        edge_ok[i] = down[2 * (i - 1) + 1] ? 0 : 1;
+      }
+      return !chain_recovers(lat, node_ok, edge_ok);
+    }
+    case ArrayLayout::kStripingOpen:
+    case ArrayLayout::kStripingClosed: {
+      // Block-granular chain of `striping_blocks` nodes + edges, both
+      // striped round-robin over all 2n drives (data blocks over even
+      // positions first — chain position 2b for node b+1, 2b+1 for edge
+      // b+1, position mod 2n selects the drive).
+      const bool open = layout == ArrayLayout::kStripingOpen;
+      const std::uint32_t blocks = striping_blocks;
+      const Lattice lat(CodeParams::single(), blocks,
+                        open ? Lattice::Boundary::kOpen
+                             : Lattice::Boundary::kClosed);
+      std::vector<std::uint8_t> node_ok(blocks + 1, 1);
+      std::vector<std::uint8_t> edge_ok(blocks + 1, 1);
+      for (std::uint32_t b = 1; b <= blocks; ++b) {
+        node_ok[b] = down[(2 * (b - 1)) % (2 * n)] ? 0 : 1;
+        edge_ok[b] = down[(2 * (b - 1) + 1) % (2 * n)] ? 0 : 1;
+      }
+      return !chain_recovers(lat, node_ok, edge_ok);
+    }
+  }
+  AEC_CHECK_MSG(false, "unreachable layout");
+  return true;
+}
+
+ReliabilityEstimate simulate_array_reliability(
+    ArrayLayout layout, const DiskArrayConfig& config) {
+  AEC_CHECK_MSG(config.data_drives >= 2, "need at least 2 data drives");
+  AEC_CHECK_MSG(config.mttf_hours > 0 && config.repair_hours > 0 &&
+                    config.mission_hours > 0,
+                "rates must be positive");
+  const std::uint32_t drives = 2 * config.data_drives;
+
+  ReliabilityEstimate estimate;
+  estimate.trials = config.trials;
+  Rng rng(config.seed);
+
+  struct Failure {
+    double at;
+    std::uint32_t drive;
+  };
+  std::vector<Failure> failures;
+  std::vector<std::uint8_t> down(drives, 0);
+
+  for (std::uint64_t trial = 0; trial < config.trials; ++trial) {
+    // Renewal process per drive: fail ~exp(mttf), down for repair_hours.
+    failures.clear();
+    for (std::uint32_t d = 0; d < drives; ++d) {
+      double t = rng.exponential(config.mttf_hours);
+      while (t < config.mission_hours) {
+        failures.push_back(Failure{t, d});
+        t += config.repair_hours + rng.exponential(config.mttf_hours);
+      }
+    }
+    std::sort(failures.begin(), failures.end(),
+              [](const Failure& a, const Failure& b) { return a.at < b.at; });
+
+    bool lost = false;
+    for (const Failure& f : failures) {
+      // Down set at instant f.at: drives whose repair window covers it.
+      std::fill(down.begin(), down.end(), 0);
+      for (const Failure& g : failures) {
+        if (g.at > f.at) break;
+        if (g.at + config.repair_hours > f.at) down[g.drive] = 1;
+      }
+      down[f.drive] = 1;
+      if (drives_cause_data_loss(layout, down, config.data_drives,
+                                 config.striping_blocks)) {
+        lost = true;
+        break;
+      }
+    }
+    if (lost) ++estimate.losses;
+  }
+  estimate.loss_probability =
+      static_cast<double>(estimate.losses) /
+      static_cast<double>(std::max<std::uint64_t>(1, config.trials));
+  return estimate;
+}
+
+}  // namespace aec::store

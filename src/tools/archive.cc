@@ -1,0 +1,228 @@
+#include "tools/archive.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace aec::tools {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// File names are hex-escaped in the manifest so arbitrary names (spaces,
+// newlines, UTF-8) survive the line-oriented format.
+std::string hex_encode(const std::string& s) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * s.size());
+  for (char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xF]);
+  }
+  return out;
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string hex_decode(const std::string& s) {
+  AEC_CHECK_MSG(s.size() % 2 == 0, "manifest: odd hex name");
+  std::string out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    const int hi = hex_value(s[i]);
+    const int lo = hex_value(s[i + 1]);
+    AEC_CHECK_MSG(hi >= 0 && lo >= 0, "manifest: bad hex name");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace
+
+Archive::Archive(fs::path root, CodeParams params, std::size_t block_size,
+                 std::uint64_t resume_count, std::vector<FileEntry> files)
+    : root_(std::move(root)),
+      params_(std::move(params)),
+      block_size_(block_size),
+      files_(std::move(files)) {
+  store_ = std::make_unique<FileBlockStore>(root_);
+  encoder_ = std::make_unique<Encoder>(params_, block_size_, store_.get(),
+                                       resume_count);
+}
+
+std::unique_ptr<Archive> Archive::create(fs::path root, CodeParams params,
+                                         std::size_t block_size) {
+  AEC_CHECK_MSG(!fs::exists(root / "manifest.txt"),
+                "archive already exists at " << root.string());
+  fs::create_directories(root);
+  auto archive = std::unique_ptr<Archive>(
+      new Archive(std::move(root), std::move(params), block_size, 0, {}));
+  archive->save_manifest();
+  return archive;
+}
+
+std::unique_ptr<Archive> Archive::open(fs::path root) {
+  std::ifstream in(root / "manifest.txt");
+  AEC_CHECK_MSG(in.good(),
+                "no archive manifest at " << (root / "manifest.txt").string());
+  std::string line;
+  std::getline(in, line);
+  AEC_CHECK_MSG(line == "aec-archive v1", "unknown manifest header");
+
+  std::uint32_t alpha = 0;
+  std::uint32_t s = 0;
+  std::uint32_t p = 0;
+  std::size_t block_size = 0;
+  std::uint64_t blocks = 0;
+  std::vector<FileEntry> files;
+  while (std::getline(in, line)) {
+    std::istringstream row(line);
+    std::string tag;
+    row >> tag;
+    if (tag == "code") {
+      row >> alpha >> s >> p;
+    } else if (tag == "block_size") {
+      row >> block_size;
+    } else if (tag == "blocks") {
+      row >> blocks;
+    } else if (tag == "file") {
+      FileEntry entry;
+      std::string hex_name;
+      row >> hex_name >> entry.first_block >> entry.bytes;
+      entry.name = hex_decode(hex_name);
+      files.push_back(std::move(entry));
+    } else if (!tag.empty()) {
+      AEC_CHECK_MSG(false, "manifest: unknown tag '" << tag << "'");
+    }
+    AEC_CHECK_MSG(!row.fail(), "manifest: malformed line '" << line << "'");
+  }
+  AEC_CHECK_MSG(alpha >= 1 && block_size > 0, "manifest: missing fields");
+  return std::unique_ptr<Archive>(new Archive(std::move(root),
+                                              CodeParams(alpha, s, p),
+                                              block_size, blocks,
+                                              std::move(files)));
+}
+
+void Archive::save_manifest() const {
+  const fs::path tmp = root_ / "manifest.txt.tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    AEC_CHECK_MSG(out.good(), "cannot write manifest");
+    out << "aec-archive v1\n";
+    out << "code " << params_.alpha() << " " << params_.s() << " "
+        << params_.p() << "\n";
+    out << "block_size " << block_size_ << "\n";
+    out << "blocks " << blocks() << "\n";
+    for (const FileEntry& entry : files_)
+      out << "file " << hex_encode(entry.name) << " " << entry.first_block
+          << " " << entry.bytes << "\n";
+    AEC_CHECK_MSG(out.good(), "manifest write failed");
+  }
+  fs::rename(tmp, root_ / "manifest.txt");  // atomic-ish swap
+}
+
+const FileEntry& Archive::add_file(const std::string& name,
+                                   BytesView content) {
+  for (const FileEntry& entry : files_)
+    AEC_CHECK_MSG(entry.name != name,
+                  "file '" << name << "' already archived");
+  FileEntry entry;
+  entry.name = name;
+  entry.first_block = static_cast<NodeIndex>(blocks() + 1);
+  entry.bytes = content.size();
+  const std::uint64_t count =
+      std::max<std::uint64_t>(1, entry.block_count(block_size_));
+  for (std::uint64_t b = 0; b < count; ++b) {
+    Bytes block(block_size_, 0);
+    const std::size_t offset = b * block_size_;
+    if (offset < content.size()) {
+      const std::size_t len =
+          std::min(block_size_, content.size() - offset);
+      std::copy_n(content.begin() + static_cast<std::ptrdiff_t>(offset),
+                  len, block.begin());
+    }
+    encoder_->append(block);
+  }
+  files_.push_back(std::move(entry));
+  save_manifest();
+  return files_.back();
+}
+
+std::optional<Bytes> Archive::read_file(const std::string& name) {
+  const FileEntry* entry = nullptr;
+  for (const FileEntry& candidate : files_)
+    if (candidate.name == name) entry = &candidate;
+  if (entry == nullptr) return std::nullopt;
+
+  Decoder decoder(params_, blocks(), block_size_, store_.get());
+  Bytes content;
+  content.reserve(entry->bytes);
+  const std::uint64_t count =
+      std::max<std::uint64_t>(1, entry->block_count(block_size_));
+  for (std::uint64_t b = 0; b < count; ++b) {
+    const auto block =
+        decoder.read_node(entry->first_block + static_cast<NodeIndex>(b));
+    if (!block) return std::nullopt;  // irrecoverable
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(block_size_, entry->bytes - content.size()));
+    content.insert(content.end(), block->begin(),
+                   block->begin() + static_cast<std::ptrdiff_t>(want));
+  }
+  return content;
+}
+
+ScrubReport Archive::scrub() {
+  ScrubReport report;
+  if (blocks() == 0) return report;
+  Decoder decoder(params_, blocks(), block_size_, store_.get());
+  report.repair = decoder.repair_all();
+  const Lattice lattice(params_, blocks(), Lattice::Boundary::kOpen);
+  const TamperScanResult scan =
+      scan_for_tampering(*store_, lattice, block_size_);
+  report.inconsistent_parities = scan.inconsistent_parities.size();
+  report.suspect_nodes = scan.suspect_nodes;
+  return report;
+}
+
+std::uint64_t Archive::missing_blocks() const {
+  if (blocks() == 0) return 0;
+  const Lattice lattice(params_, blocks(), Lattice::Boundary::kOpen);
+  std::uint64_t missing = 0;
+  for (NodeIndex i = 1; i <= static_cast<NodeIndex>(blocks()); ++i) {
+    if (!store_->contains(BlockKey::data(i))) ++missing;
+    for (StrandClass cls : params_.classes())
+      if (!store_->contains(BlockKey::parity(lattice.output_edge(i, cls))))
+        ++missing;
+  }
+  return missing;
+}
+
+std::uint64_t Archive::inject_damage(double fraction, std::uint64_t seed) {
+  AEC_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
+                "fraction must be in [0,1]");
+  if (blocks() == 0) return 0;
+  Rng rng(seed);
+  const Lattice lattice(params_, blocks(), Lattice::Boundary::kOpen);
+  std::uint64_t destroyed = 0;
+  for (NodeIndex i = 1; i <= static_cast<NodeIndex>(blocks()); ++i) {
+    if (rng.bernoulli(fraction) && store_->erase(BlockKey::data(i)))
+      ++destroyed;
+    for (StrandClass cls : params_.classes()) {
+      if (rng.bernoulli(fraction) &&
+          store_->erase(BlockKey::parity(lattice.output_edge(i, cls))))
+        ++destroyed;
+    }
+  }
+  return destroyed;
+}
+
+}  // namespace aec::tools

@@ -1,0 +1,95 @@
+// Durable entangled archive: FileBlockStore + codec + a plain-text
+// manifest. This is the "downstream user" face of the library — what the
+// aectool CLI drives.
+//
+// Manifest (<root>/manifest.txt):
+//   aec-archive v1
+//   code <alpha> <s> <p>
+//   block_size <bytes>
+//   blocks <count>
+//   file <hex-name> <first_block> <bytes>
+//   …
+//
+// Files are stored as consecutive block runs (zero-padded tail). Reads
+// repair missing blocks through the lattice transparently; scrub() runs
+// the global repair plus the anti-tampering scan.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/codec/decoder.h"
+#include "core/codec/encoder.h"
+#include "core/codec/file_block_store.h"
+#include "core/codec/tamper.h"
+
+namespace aec::tools {
+
+struct FileEntry {
+  std::string name;
+  NodeIndex first_block = 0;
+  std::uint64_t bytes = 0;
+
+  std::uint64_t block_count(std::size_t block_size) const {
+    return (bytes + block_size - 1) / block_size;
+  }
+};
+
+struct ScrubReport {
+  RepairReport repair;
+  std::uint64_t inconsistent_parities = 0;
+  std::vector<NodeIndex> suspect_nodes;
+};
+
+class Archive {
+ public:
+  /// Creates a fresh archive (root must not already hold a manifest).
+  static std::unique_ptr<Archive> create(std::filesystem::path root,
+                                         CodeParams params,
+                                         std::size_t block_size);
+
+  /// Opens an existing archive from its manifest.
+  static std::unique_ptr<Archive> open(std::filesystem::path root);
+
+  const CodeParams& params() const noexcept { return params_; }
+  std::size_t block_size() const noexcept { return block_size_; }
+  std::uint64_t blocks() const noexcept { return encoder_->size(); }
+  const std::vector<FileEntry>& files() const noexcept { return files_; }
+
+  /// Appends a file; returns its entry. Name must be unique.
+  const FileEntry& add_file(const std::string& name, BytesView content);
+
+  /// Reads a file back (repairing blocks as needed); nullopt if the name
+  /// is unknown or content is irrecoverable.
+  std::optional<Bytes> read_file(const std::string& name);
+
+  /// Global repair + integrity scan.
+  ScrubReport scrub();
+
+  /// Missing blocks right now (damage visible to the index).
+  std::uint64_t missing_blocks() const;
+
+  /// Deletes a random fraction of the block files (damage injection for
+  /// demos/tests). Returns how many blocks were destroyed.
+  std::uint64_t inject_damage(double fraction, std::uint64_t seed);
+
+ private:
+  Archive(std::filesystem::path root, CodeParams params,
+          std::size_t block_size, std::uint64_t resume_count,
+          std::vector<FileEntry> files);
+
+  void save_manifest() const;
+
+  std::filesystem::path root_;
+  CodeParams params_;
+  std::size_t block_size_;
+  std::vector<FileEntry> files_;
+  std::unique_ptr<FileBlockStore> store_;
+  std::unique_ptr<Encoder> encoder_;
+};
+
+}  // namespace aec::tools

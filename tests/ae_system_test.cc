@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "sim/ae_system.h"
+
+namespace aec::sim {
+namespace {
+
+DisasterConfig config_with(double fraction, std::uint64_t seed = 42,
+                           MaintenanceMode mode = MaintenanceMode::kFull) {
+  DisasterConfig c;
+  c.n_locations = 100;
+  c.failed_fraction = fraction;
+  c.seed = seed;
+  c.maintenance = mode;
+  return c;
+}
+
+TEST(AeSystem, MetadataMatchesTable4) {
+  const AeScheme ae(CodeParams(3, 2, 5));
+  EXPECT_EQ(ae.name(), "AE(3,2,5)");
+  EXPECT_DOUBLE_EQ(ae.storage_overhead_percent(), 300.0);
+  EXPECT_EQ(ae.single_failure_fanin(), 2u);
+  EXPECT_EQ(ae.total_blocks(1000), 4000u);
+}
+
+TEST(AeSystem, NoDisasterNoDamage) {
+  const AeScheme ae(CodeParams(3, 2, 5));
+  const DisasterResult r = ae.run_disaster(10000, config_with(0.0));
+  EXPECT_EQ(r.data_unavailable, 0u);
+  EXPECT_EQ(r.data_lost, 0u);
+  EXPECT_EQ(r.repair_rounds, 0u);
+  EXPECT_EQ(r.vulnerable_data, 0u);
+}
+
+TEST(AeSystem, TotalDisasterLosesEverything) {
+  const AeScheme ae(CodeParams(3, 2, 5));
+  const DisasterResult r = ae.run_disaster(10000, config_with(1.0));
+  EXPECT_EQ(r.data_unavailable, 10000u);
+  EXPECT_EQ(r.data_lost, 10000u);
+  EXPECT_EQ(r.data_repaired, 0u);
+}
+
+TEST(AeSystem, AccountingInvariants) {
+  const AeScheme ae(CodeParams(3, 2, 5));
+  const DisasterResult r = ae.run_disaster(20000, config_with(0.30));
+  EXPECT_EQ(r.data_blocks, 20000u);
+  EXPECT_EQ(r.data_unavailable, r.data_repaired + r.data_lost);
+  EXPECT_LE(r.single_failure_repairs, r.data_repaired);
+  EXPECT_GT(r.data_unavailable, 0u);
+  // ~30 % of data should be hit (binomial around 6000).
+  EXPECT_NEAR(static_cast<double>(r.data_unavailable), 6000.0, 500.0);
+}
+
+TEST(AeSystem, DeterministicForFixedSeed) {
+  const AeScheme ae(CodeParams(2, 2, 5));
+  const DisasterResult a = ae.run_disaster(20000, config_with(0.3, 99));
+  const DisasterResult b = ae.run_disaster(20000, config_with(0.3, 99));
+  EXPECT_EQ(a.data_lost, b.data_lost);
+  EXPECT_EQ(a.repair_rounds, b.repair_rounds);
+  EXPECT_EQ(a.data_repaired, b.data_repaired);
+  EXPECT_EQ(a.vulnerable_data, b.vulnerable_data);
+}
+
+TEST(AeSystem, AlphaImprovesRecovery) {
+  // Identical configuration: data loss must not increase with α.
+  const std::uint64_t n = 50000;
+  std::uint64_t prev = ~0ull;
+  for (auto params : {CodeParams::single(), CodeParams(2, 2, 5),
+                      CodeParams(3, 2, 5)}) {
+    const AeScheme ae(params);
+    const DisasterResult r = ae.run_disaster(n, config_with(0.30, 7));
+    EXPECT_LE(r.data_lost, prev) << params.name();
+    prev = r.data_lost;
+  }
+}
+
+TEST(AeSystem, RepairRoundsGrowWithDisasterSize) {
+  // Table VI: rounds increase with disaster size.
+  const AeScheme ae(CodeParams(3, 2, 5));
+  const DisasterResult small = ae.run_disaster(50000, config_with(0.10, 5));
+  const DisasterResult large = ae.run_disaster(50000, config_with(0.50, 5));
+  EXPECT_GE(large.repair_rounds, small.repair_rounds);
+  EXPECT_GE(small.repair_rounds, 1u);
+}
+
+TEST(AeSystem, MostRepairsHappenInRoundOne) {
+  // Fig 13: the vast majority of repaired data blocks are single
+  // failures solved at the first round.
+  const AeScheme ae(CodeParams(3, 2, 5));
+  const DisasterResult r = ae.run_disaster(50000, config_with(0.20, 11));
+  EXPECT_GT(r.single_failure_percent(), 80.0);
+}
+
+TEST(AeSystem, MinimalMaintenanceLeavesVulnerableData) {
+  const AeScheme ae(CodeParams(3, 2, 5));
+  const DisasterResult full =
+      ae.run_disaster(50000, config_with(0.30, 3, MaintenanceMode::kFull));
+  const DisasterResult minimal = ae.run_disaster(
+      50000, config_with(0.30, 3, MaintenanceMode::kMinimal));
+  // Minimal maintenance repairs fewer parities and leaves more data
+  // without redundancy.
+  EXPECT_LE(minimal.parity_repaired, full.parity_repaired);
+  EXPECT_GE(minimal.vulnerable_data, full.vulnerable_data);
+  // But data recovery itself is barely affected for AE (locality).
+  EXPECT_LE(minimal.data_lost,
+            full.data_lost + full.data_blocks / 100);
+}
+
+TEST(AeSystem, VulnerableIsZeroWithoutDisaster) {
+  const AeScheme ae(CodeParams(2, 2, 5));
+  const DisasterResult r = ae.run_disaster(
+      10000, config_with(0.0, 1, MaintenanceMode::kMinimal));
+  EXPECT_EQ(r.vulnerable_data, 0u);
+}
+
+TEST(AeSystem, RoundsAreSeedStableAndPlausible) {
+  // Sanity against Table VI's order of magnitude (3–30 rounds).
+  const AeScheme ae(CodeParams(2, 2, 5));
+  const DisasterResult r = ae.run_disaster(100000, config_with(0.50, 21));
+  EXPECT_GE(r.repair_rounds, 3u);
+  EXPECT_LE(r.repair_rounds, 64u);
+}
+
+TEST(AeSystem, TinyLatticeRejected) {
+  const AeScheme ae(CodeParams(3, 2, 5));
+  EXPECT_THROW(ae.run_disaster(10, config_with(0.1)), CheckError);
+}
+
+TEST(AeSystem, RoundsDownToWrapMultiple) {
+  const AeScheme ae(CodeParams(3, 2, 5));  // s·p = 10
+  const DisasterResult r = ae.run_disaster(10007, config_with(0.1));
+  EXPECT_EQ(r.data_blocks, 10000u);
+}
+
+}  // namespace
+}  // namespace aec::sim

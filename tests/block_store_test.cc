@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/codec/block_store.h"
+
+namespace aec {
+namespace {
+
+TEST(BlockKey, FactoryAndAccessors) {
+  const BlockKey d = BlockKey::data(42);
+  EXPECT_TRUE(d.is_data());
+  EXPECT_FALSE(d.is_parity());
+  EXPECT_EQ(d.index, 42);
+
+  const Edge e{StrandClass::kLeftHanded, 17};
+  const BlockKey p = BlockKey::parity(e);
+  EXPECT_TRUE(p.is_parity());
+  EXPECT_EQ(p.edge(), e);
+}
+
+TEST(BlockKey, Equality) {
+  EXPECT_EQ(BlockKey::data(5), BlockKey::data(5));
+  EXPECT_NE(BlockKey::data(5), BlockKey::data(6));
+  EXPECT_NE(BlockKey::data(5),
+            BlockKey::parity(Edge{StrandClass::kHorizontal, 5}));
+  EXPECT_NE(BlockKey::parity(Edge{StrandClass::kHorizontal, 5}),
+            BlockKey::parity(Edge{StrandClass::kRightHanded, 5}));
+}
+
+TEST(BlockKey, HashSeparatesKindAndClass) {
+  const BlockKeyHash hash;
+  // Not a strict requirement of unordered_map, but collisions between
+  // the few per-node keys would hurt every lookup.
+  EXPECT_NE(hash(BlockKey::data(5)),
+            hash(BlockKey::parity(Edge{StrandClass::kHorizontal, 5})));
+  EXPECT_NE(hash(BlockKey::parity(Edge{StrandClass::kHorizontal, 5})),
+            hash(BlockKey::parity(Edge{StrandClass::kRightHanded, 5})));
+}
+
+TEST(BlockKey, ToString) {
+  EXPECT_EQ(to_string(BlockKey::data(26)), "d26");
+  EXPECT_EQ(to_string(BlockKey::parity(Edge{StrandClass::kHorizontal, 21})),
+            "p(H,21)");
+  EXPECT_EQ(
+      to_string(BlockKey::parity(Edge{StrandClass::kLeftHanded, 3})),
+      "p(LH,3)");
+}
+
+TEST(InMemoryBlockStore, BasicLifecycle) {
+  InMemoryBlockStore store;
+  EXPECT_EQ(store.size(), 0u);
+  store.put(BlockKey::data(1), Bytes{1, 2});
+  store.put(BlockKey::data(2), Bytes{3});
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.contains(BlockKey::data(1)));
+  EXPECT_EQ(*store.find(BlockKey::data(1)), (Bytes{1, 2}));
+  EXPECT_EQ(store.find(BlockKey::data(9)), nullptr);
+  EXPECT_TRUE(store.erase(BlockKey::data(1)));
+  EXPECT_FALSE(store.erase(BlockKey::data(1)));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(InMemoryBlockStore, PutOverwrites) {
+  InMemoryBlockStore store;
+  store.put(BlockKey::data(1), Bytes{1});
+  store.put(BlockKey::data(1), Bytes{2});
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(*store.find(BlockKey::data(1)), Bytes{2});
+}
+
+TEST(InMemoryBlockStore, ForEachVisitsEverything) {
+  InMemoryBlockStore store;
+  store.put(BlockKey::data(1), Bytes{1});
+  store.put(BlockKey::parity(Edge{StrandClass::kRightHanded, 1}), Bytes{2});
+  std::size_t visited = 0;
+  std::size_t bytes = 0;
+  store.for_each([&](const BlockKey&, const Bytes& value) {
+    ++visited;
+    bytes += value.size();
+  });
+  EXPECT_EQ(visited, 2u);
+  EXPECT_EQ(bytes, 2u);
+}
+
+}  // namespace
+}  // namespace aec

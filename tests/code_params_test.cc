@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/lattice/code_params.h"
+
+namespace aec {
+namespace {
+
+TEST(CodeParams, SingleEntanglement) {
+  const CodeParams p = CodeParams::single();
+  EXPECT_EQ(p.alpha(), 1u);
+  EXPECT_EQ(p.s(), 1u);
+  EXPECT_EQ(p.p(), 0u);
+  EXPECT_EQ(p.total_strands(), 1u);
+  EXPECT_EQ(p.classes().size(), 1u);
+  EXPECT_EQ(p.classes()[0], StrandClass::kHorizontal);
+  EXPECT_EQ(p.name(), "AE(1,-,-)");
+}
+
+TEST(CodeParams, DoubleEntanglementClasses) {
+  const CodeParams p(2, 2, 5);
+  ASSERT_EQ(p.classes().size(), 2u);
+  EXPECT_EQ(p.classes()[1], StrandClass::kRightHanded);
+  EXPECT_EQ(p.total_strands(), 2u + 5u);
+  EXPECT_EQ(p.name(), "AE(2,2,5)");
+}
+
+TEST(CodeParams, TripleEntanglementStrandCount) {
+  // Paper Fig 4: AE(3,5,5) has 15 strands (5 H, 5 RH, 5 LH).
+  const CodeParams p(3, 5, 5);
+  EXPECT_EQ(p.total_strands(), 15u);
+  EXPECT_EQ(p.strands_of(StrandClass::kHorizontal), 5u);
+  EXPECT_EQ(p.strands_of(StrandClass::kRightHanded), 5u);
+  EXPECT_EQ(p.strands_of(StrandClass::kLeftHanded), 5u);
+}
+
+TEST(CodeParams, RatesAndOverhead) {
+  const CodeParams p(3, 2, 5);
+  EXPECT_DOUBLE_EQ(p.code_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(p.parity_only_rate(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p.storage_overhead_percent(), 300.0);
+
+  const CodeParams q = CodeParams::single();
+  EXPECT_DOUBLE_EQ(q.code_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(q.storage_overhead_percent(), 100.0);
+}
+
+TEST(CodeParams, InvalidAlphaRejected) {
+  EXPECT_THROW(CodeParams(0, 1, 0), CheckError);
+  EXPECT_THROW(CodeParams(4, 2, 2), CheckError);
+}
+
+TEST(CodeParams, SingleEntanglementShapeEnforced) {
+  EXPECT_THROW(CodeParams(1, 2, 2), CheckError);
+  EXPECT_THROW(CodeParams(1, 1, 1), CheckError);
+}
+
+TEST(CodeParams, DeformedLatticeRejected) {
+  // p < s deforms the lattice (paper §III-B).
+  EXPECT_THROW(CodeParams(2, 3, 2), CheckError);
+  EXPECT_THROW(CodeParams(3, 5, 4), CheckError);
+  EXPECT_NO_THROW(CodeParams(3, 5, 5));
+  EXPECT_NO_THROW(CodeParams(2, 1, 1));
+}
+
+TEST(CodeParams, Equality) {
+  EXPECT_EQ(CodeParams(3, 2, 5), CodeParams(3, 2, 5));
+  EXPECT_NE(CodeParams(3, 2, 5), CodeParams(2, 2, 5));
+}
+
+TEST(StrandClassNames, ToString) {
+  EXPECT_STREQ(to_string(StrandClass::kHorizontal), "H");
+  EXPECT_STREQ(to_string(StrandClass::kRightHanded), "RH");
+  EXPECT_STREQ(to_string(StrandClass::kLeftHanded), "LH");
+  EXPECT_STREQ(to_string(NodeClass::kTop), "top");
+  EXPECT_STREQ(to_string(NodeClass::kCentral), "central");
+  EXPECT_STREQ(to_string(NodeClass::kBottom), "bottom");
+}
+
+}  // namespace
+}  // namespace aec

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/xor_engine.h"
+#include "core/codec/encoder.h"
+
+namespace aec {
+namespace {
+
+constexpr std::size_t kBlockSize = 64;
+
+std::vector<Bytes> random_blocks(std::size_t count, Rng& rng) {
+  std::vector<Bytes> blocks;
+  blocks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    blocks.push_back(rng.random_block(kBlockSize));
+  return blocks;
+}
+
+TEST(Encoder, StoresDataAndAlphaParities) {
+  InMemoryBlockStore store;
+  Encoder enc(CodeParams(3, 2, 5), kBlockSize, &store);
+  Rng rng(1);
+  const auto result = enc.append(rng.random_block(kBlockSize));
+  EXPECT_EQ(result.index, 1);
+  EXPECT_EQ(result.parities.size(), 3u);
+  EXPECT_EQ(store.size(), 4u);  // 1 data + 3 parities
+}
+
+TEST(Encoder, RejectsWrongBlockSize) {
+  InMemoryBlockStore store;
+  Encoder enc(CodeParams(3, 2, 5), kBlockSize, &store);
+  EXPECT_THROW(enc.append(Bytes(kBlockSize - 1, 0)), CheckError);
+}
+
+TEST(Encoder, FirstParityEqualsDataOnBootstrapStrand) {
+  // p_{1,j} = d_1 XOR zero-block = d_1.
+  InMemoryBlockStore store;
+  Encoder enc(CodeParams::single(), kBlockSize, &store);
+  Rng rng(2);
+  const Bytes d1 = rng.random_block(kBlockSize);
+  const auto r = enc.append(d1);
+  const Bytes* p = store.find(BlockKey::parity(r.parities[0]));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, d1);
+}
+
+TEST(Encoder, ChainRecurrenceForSingleEntanglement) {
+  // p_{i,i+1} = d_i XOR p_{i-1,i}: the running XOR of the whole prefix.
+  InMemoryBlockStore store;
+  Encoder enc(CodeParams::single(), kBlockSize, &store);
+  Rng rng(3);
+  const auto blocks = random_blocks(10, rng);
+  enc.append_all(blocks);
+
+  Bytes prefix(kBlockSize, 0);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    xor_into(prefix, blocks[i]);
+    const Bytes* p = store.find(BlockKey::parity(
+        Edge{StrandClass::kHorizontal, static_cast<NodeIndex>(i + 1)}));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, prefix) << "prefix parity at " << i + 1;
+  }
+}
+
+using ParamTuple = std::tuple<int, int, int>;
+
+std::string param_name(const ::testing::TestParamInfo<ParamTuple>& info) {
+  const auto [a, s, p] = info.param;
+  return "AE_" + std::to_string(a) + "_" + std::to_string(s) + "_" +
+         std::to_string(p);
+}
+
+
+class EncoderGrid : public ::testing::TestWithParam<ParamTuple> {
+ protected:
+  CodeParams make_params() const {
+    const auto [a, s, p] = GetParam();
+    return CodeParams(static_cast<std::uint32_t>(a),
+                      static_cast<std::uint32_t>(s),
+                      static_cast<std::uint32_t>(p));
+  }
+};
+
+TEST_P(EncoderGrid, EntanglementEquationHoldsEverywhere) {
+  // For every parity: p_{i,j} = d_i XOR p_{h,i} (zero block at bootstrap).
+  const CodeParams params = make_params();
+  InMemoryBlockStore store;
+  Encoder enc(params, kBlockSize, &store);
+  Rng rng(11);
+  const std::size_t n = 200;
+  const auto blocks = random_blocks(n, rng);
+  enc.append_all(blocks);
+  const Lattice lat = enc.lattice();
+
+  for (NodeIndex i = 1; i <= static_cast<NodeIndex>(n); ++i) {
+    for (StrandClass cls : params.classes()) {
+      const Bytes* out = store.find(BlockKey::parity(lat.output_edge(i, cls)));
+      ASSERT_NE(out, nullptr);
+      Bytes expected = blocks[static_cast<std::size_t>(i - 1)];
+      if (const auto in = lat.input_edge(i, cls)) {
+        const Bytes* in_value = store.find(BlockKey::parity(*in));
+        ASSERT_NE(in_value, nullptr);
+        xor_into(expected, *in_value);
+      }
+      ASSERT_EQ(*out, expected)
+          << "node " << i << " class " << to_string(cls);
+    }
+  }
+}
+
+TEST_P(EncoderGrid, HeadCacheBoundedByStrandCount) {
+  const CodeParams params = make_params();
+  InMemoryBlockStore store;
+  Encoder enc(params, kBlockSize, &store);
+  Rng rng(13);
+  for (int i = 0; i < 300; ++i) enc.append(rng.random_block(kBlockSize));
+  // Paper §IV-A: the broker keeps the last p-block of each strand.
+  EXPECT_LE(enc.cached_heads(), params.total_strands());
+  EXPECT_EQ(enc.cached_heads(), params.total_strands());
+}
+
+TEST_P(EncoderGrid, CrashRecoveryProducesIdenticalParities) {
+  // Dropping the head cache (broker crash) must not change the encoding:
+  // heads are re-fetched from the store (paper §IV-A).
+  const CodeParams params = make_params();
+  Rng rng(17);
+  const auto blocks = random_blocks(120, rng);
+
+  InMemoryBlockStore store_a;
+  Encoder enc_a(params, kBlockSize, &store_a);
+  for (const auto& b : blocks) enc_a.append(b);
+
+  InMemoryBlockStore store_b;
+  Encoder enc_b(params, kBlockSize, &store_b);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (i % 17 == 0) enc_b.drop_head_cache();  // crash every 17 appends
+    enc_b.append(blocks[i]);
+  }
+
+  store_a.for_each([&](const BlockKey& key, const Bytes& value) {
+    const Bytes* other = store_b.find(key);
+    ASSERT_NE(other, nullptr) << to_string(key);
+    ASSERT_EQ(*other, value) << to_string(key);
+  });
+  EXPECT_EQ(store_a.size(), store_b.size());
+}
+
+TEST_P(EncoderGrid, TotalBlockCount) {
+  const CodeParams params = make_params();
+  InMemoryBlockStore store;
+  Encoder enc(params, kBlockSize, &store);
+  Rng rng(19);
+  const std::size_t n = 100;
+  for (std::size_t i = 0; i < n; ++i)
+    enc.append(rng.random_block(kBlockSize));
+  EXPECT_EQ(store.size(), n * (1 + params.alpha()));
+  EXPECT_EQ(enc.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CodeSettings, EncoderGrid,
+    ::testing::Values(ParamTuple{1, 1, 0}, ParamTuple{2, 1, 1},
+                      ParamTuple{2, 2, 2}, ParamTuple{2, 2, 5},
+                      ParamTuple{3, 1, 4}, ParamTuple{3, 2, 2},
+                      ParamTuple{3, 2, 5}, ParamTuple{3, 3, 3},
+                      ParamTuple{3, 5, 5}, ParamTuple{3, 5, 7}),
+    param_name);
+
+}  // namespace
+}  // namespace aec

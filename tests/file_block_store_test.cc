@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "core/codec/decoder.h"
+#include "core/codec/encoder.h"
+#include "core/codec/file_block_store.h"
+
+namespace aec {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FileBlockStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("aec_store_test_" +
+             std::to_string(
+                 ::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+};
+
+TEST_F(FileBlockStoreTest, PutFindRoundTrip) {
+  FileBlockStore store(root_);
+  const BlockKey key = BlockKey::data(7);
+  store.put(key, Bytes{1, 2, 3, 4});
+  ASSERT_TRUE(store.contains(key));
+  const Bytes* found = store.find(key);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST_F(FileBlockStoreTest, PersistsAcrossReopen) {
+  {
+    FileBlockStore store(root_);
+    store.put(BlockKey::data(1), Bytes{9});
+    store.put(BlockKey::parity(Edge{StrandClass::kRightHanded, 3}),
+              Bytes{8});
+  }
+  FileBlockStore reopened(root_);
+  EXPECT_EQ(reopened.size(), 2u);
+  const Bytes* parity = reopened.find(
+      BlockKey::parity(Edge{StrandClass::kRightHanded, 3}));
+  ASSERT_NE(parity, nullptr);
+  EXPECT_EQ(*parity, Bytes{8});
+}
+
+TEST_F(FileBlockStoreTest, EraseRemovesFile) {
+  FileBlockStore store(root_);
+  const BlockKey key = BlockKey::parity(Edge{StrandClass::kLeftHanded, 5});
+  store.put(key, Bytes{1});
+  const fs::path path = store.path_of(key);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_TRUE(store.erase(key));
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(store.contains(key));
+  EXPECT_FALSE(store.erase(key));
+}
+
+TEST_F(FileBlockStoreTest, DataAndParityNamespacesAreSeparate) {
+  FileBlockStore store(root_);
+  store.put(BlockKey::data(5), Bytes{1});
+  store.put(BlockKey::parity(Edge{StrandClass::kHorizontal, 5}), Bytes{2});
+  store.put(BlockKey::parity(Edge{StrandClass::kRightHanded, 5}), Bytes{3});
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(*store.find(BlockKey::data(5)), Bytes{1});
+  EXPECT_EQ(
+      *store.find(BlockKey::parity(Edge{StrandClass::kRightHanded, 5})),
+      Bytes{3});
+}
+
+TEST_F(FileBlockStoreTest, ExternalDeletionSeenAfterRescan) {
+  FileBlockStore store(root_);
+  const BlockKey key = BlockKey::data(2);
+  store.put(key, Bytes{1, 2});
+  store.drop_cache();
+  fs::remove(store.path_of(key));  // sabotage behind the store's back
+  // The index is stale until rescan; find() detects the hole lazily.
+  EXPECT_TRUE(store.contains(key));
+  EXPECT_EQ(store.find(key), nullptr);
+  store.rescan();
+  EXPECT_FALSE(store.contains(key));
+}
+
+TEST_F(FileBlockStoreTest, WorksAsCodecBackend) {
+  // The whole encode→damage→repair cycle against real files.
+  const CodeParams params(3, 2, 5);
+  constexpr std::size_t kBlockSize = 64;
+  FileBlockStore store(root_);
+  Encoder encoder(params, kBlockSize, &store);
+  Rng rng(5);
+  std::vector<Bytes> truth;
+  for (int i = 0; i < 30; ++i) {
+    truth.push_back(rng.random_block(kBlockSize));
+    encoder.append(truth.back());
+  }
+  store.erase(BlockKey::data(10));
+  store.erase(BlockKey::data(11));
+  store.drop_cache();
+
+  Decoder decoder(params, 30, kBlockSize, &store);
+  const RepairReport report = decoder.repair_all();
+  EXPECT_EQ(report.nodes_unrecovered, 0u);
+  EXPECT_EQ(*store.find(BlockKey::data(10)), truth[9]);
+  EXPECT_EQ(*store.find(BlockKey::data(11)), truth[10]);
+}
+
+TEST_F(FileBlockStoreTest, ResumedEncoderContinuesTheLattice) {
+  const CodeParams params(2, 2, 2);
+  constexpr std::size_t kBlockSize = 32;
+  Rng rng(9);
+  std::vector<Bytes> blocks;
+  for (int i = 0; i < 20; ++i) blocks.push_back(rng.random_block(kBlockSize));
+
+  // One continuous encoder vs a restart in the middle.
+  InMemoryBlockStore continuous;
+  Encoder enc_a(params, kBlockSize, &continuous);
+  for (const auto& b : blocks) enc_a.append(b);
+
+  FileBlockStore durable(root_);
+  {
+    Encoder enc_b(params, kBlockSize, &durable);
+    for (int i = 0; i < 12; ++i) enc_b.append(blocks[static_cast<std::size_t>(i)]);
+  }
+  {
+    Encoder enc_c(params, kBlockSize, &durable, /*resume_count=*/12);
+    for (int i = 12; i < 20; ++i)
+      enc_c.append(blocks[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(enc_c.size(), 20u);
+  }
+  // Identical parities everywhere.
+  const Lattice lat(params, 20, Lattice::Boundary::kOpen);
+  for (NodeIndex i = 1; i <= 20; ++i) {
+    for (StrandClass cls : params.classes()) {
+      const BlockKey key = BlockKey::parity(lat.output_edge(i, cls));
+      const Bytes* a = continuous.find(key);
+      const Bytes* b = durable.find(key);
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      ASSERT_EQ(*a, *b) << to_string(key);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aec

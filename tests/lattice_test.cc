@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/check.h"
+#include "core/lattice/lattice.h"
+
+namespace aec {
+namespace {
+
+Lattice open_lattice(CodeParams p, std::uint64_t n = 10000) {
+  return Lattice(std::move(p), n, Lattice::Boundary::kOpen);
+}
+
+// --- Fig 4 worked example: AE(3,5,5) around node d26 ----------------------
+
+class Ae355Fig4 : public ::testing::Test {
+ protected:
+  Lattice lat_ = open_lattice(CodeParams(3, 5, 5));
+};
+
+TEST_F(Ae355Fig4, NodeClassOfD26IsTop) {
+  // 26 ≡ 1 (mod 5) → top (paper Fig 4).
+  EXPECT_EQ(lat_.node_class(26), NodeClass::kTop);
+  EXPECT_EQ(lat_.node_class(30), NodeClass::kBottom);
+  EXPECT_EQ(lat_.node_class(28), NodeClass::kCentral);
+}
+
+TEST_F(Ae355Fig4, RowAndColumn) {
+  EXPECT_EQ(lat_.row(26), 1u);
+  EXPECT_EQ(lat_.column(26), 6);
+  EXPECT_EQ(lat_.row(30), 5u);
+  EXPECT_EQ(lat_.column(30), 6);
+  EXPECT_EQ(lat_.row(1), 1u);
+  EXPECT_EQ(lat_.column(1), 1);
+}
+
+TEST_F(Ae355Fig4, InputRulesMatchPaperTable1) {
+  // d26 is tangled with p21,26 (H), p25,26 (RH), p22,26 (LH).
+  EXPECT_EQ(lat_.input_index_raw(26, StrandClass::kHorizontal), 21);
+  EXPECT_EQ(lat_.input_index_raw(26, StrandClass::kRightHanded), 25);
+  EXPECT_EQ(lat_.input_index_raw(26, StrandClass::kLeftHanded), 22);
+}
+
+TEST_F(Ae355Fig4, OutputRulesMatchPaperTable2) {
+  // d26 creates p26,31 (H), p26,32 (RH), p26,35 (LH).
+  EXPECT_EQ(lat_.output_index_raw(26, StrandClass::kHorizontal), 31);
+  EXPECT_EQ(lat_.output_index_raw(26, StrandClass::kRightHanded), 32);
+  EXPECT_EQ(lat_.output_index_raw(26, StrandClass::kLeftHanded), 35);
+}
+
+TEST_F(Ae355Fig4, RepairExampleEdges) {
+  // Paper: "to repair d26 … XOR(p21,26, p26,31)"; "to repair p21,26 …
+  // XOR(d21, p16,21)".
+  const auto in = lat_.input_edge(26, StrandClass::kHorizontal);
+  ASSERT_TRUE(in.has_value());
+  EXPECT_EQ(in->tail, 21);
+  EXPECT_EQ(lat_.input_index_raw(21, StrandClass::kHorizontal), 16);
+}
+
+TEST_F(Ae355Fig4, D26BelongsToStrandsH1RH1LH2) {
+  // Fig 4 caption: d26 belongs to H1, RH1 and LH2 (1-based labels).
+  EXPECT_EQ(lat_.strand_id(26, StrandClass::kHorizontal), 0u);
+  // Strand-id labelling is an implementation detail; what matters is
+  // consistency along the strand, verified in the parameterized tests.
+}
+
+// --- Fig 3 examples --------------------------------------------------------
+
+TEST(LatticeFig3, SingleEntanglementChain) {
+  const Lattice lat = open_lattice(CodeParams::single());
+  EXPECT_EQ(lat.output_index_raw(4, StrandClass::kHorizontal), 5);
+  EXPECT_EQ(lat.input_index_raw(4, StrandClass::kHorizontal), 3);
+  const auto first_in = lat.input_edge(1, StrandClass::kHorizontal);
+  EXPECT_FALSE(first_in.has_value());  // bootstrap
+}
+
+TEST(LatticeFig3, Ae212HelicalJumpsTwo) {
+  // Fig 3 "α = 2, s=1, p=2": helical parities p1,3 p2,4 p3,5 p4,6 p5,7.
+  const Lattice lat = open_lattice(CodeParams(2, 1, 2));
+  for (NodeIndex i = 1; i <= 5; ++i)
+    EXPECT_EQ(lat.output_index_raw(i, StrandClass::kRightHanded), i + 2);
+}
+
+TEST(LatticeFig3, Ae222EdgesMatchFigure) {
+  // Fig 3 "α = 2, s=2, p=2": RH edges (1,4),(3,6),(5,8),… from top nodes
+  // and (2,3),(4,5),(6,7),… from bottom nodes.
+  const Lattice lat = open_lattice(CodeParams(2, 2, 2));
+  EXPECT_EQ(lat.output_index_raw(1, StrandClass::kRightHanded), 4);
+  EXPECT_EQ(lat.output_index_raw(3, StrandClass::kRightHanded), 6);
+  EXPECT_EQ(lat.output_index_raw(5, StrandClass::kRightHanded), 8);
+  EXPECT_EQ(lat.output_index_raw(2, StrandClass::kRightHanded), 3);
+  EXPECT_EQ(lat.output_index_raw(4, StrandClass::kRightHanded), 5);
+  // H strands: (1,3),(3,5) and (2,4),(4,6).
+  EXPECT_EQ(lat.output_index_raw(1, StrandClass::kHorizontal), 3);
+  EXPECT_EQ(lat.output_index_raw(2, StrandClass::kHorizontal), 4);
+}
+
+// --- Parameterized consistency over a grid of code settings ---------------
+
+using ParamTuple = std::tuple<int, int, int>;  // alpha, s, p
+
+std::string param_name(const ::testing::TestParamInfo<ParamTuple>& info) {
+  const auto [a, s, p] = info.param;
+  return "AE_" + std::to_string(a) + "_" + std::to_string(s) + "_" +
+         std::to_string(p);
+}
+
+
+class LatticeGrid : public ::testing::TestWithParam<ParamTuple> {
+ protected:
+  CodeParams make_params() const {
+    const auto [a, s, p] = GetParam();
+    return CodeParams(static_cast<std::uint32_t>(a),
+                      static_cast<std::uint32_t>(s),
+                      static_cast<std::uint32_t>(p));
+  }
+};
+
+TEST_P(LatticeGrid, InputOutputAreMutualInverses) {
+  const Lattice lat = open_lattice(make_params(), 4000);
+  for (NodeIndex i = 200; i <= 600; ++i) {
+    for (StrandClass cls : lat.params().classes()) {
+      const NodeIndex j = lat.output_index_raw(i, cls);
+      ASSERT_GT(j, i) << "strand must advance";
+      EXPECT_EQ(lat.input_index_raw(j, cls), i)
+          << "class " << to_string(cls) << " node " << i;
+      const NodeIndex h = lat.input_index_raw(i, cls);
+      ASSERT_LT(h, i);
+      EXPECT_EQ(lat.output_index_raw(h, cls), i);
+    }
+  }
+}
+
+TEST_P(LatticeGrid, StrandIdInvariantAlongStrand) {
+  const Lattice lat = open_lattice(make_params(), 8000);
+  for (StrandClass cls : lat.params().classes()) {
+    NodeIndex cursor = 301;
+    const std::uint32_t id = lat.strand_id(cursor, cls);
+    for (int step = 0; step < 50; ++step) {
+      cursor = lat.output_index_raw(cursor, cls);
+      ASSERT_EQ(lat.strand_id(cursor, cls), id)
+          << "class " << to_string(cls) << " at node " << cursor;
+    }
+  }
+}
+
+TEST_P(LatticeGrid, EveryNodeJoinsAlphaDistinctStrandInstances) {
+  const Lattice lat = open_lattice(make_params(), 4000);
+  const CodeParams& params = lat.params();
+  for (NodeIndex i = 100; i <= 300; ++i) {
+    std::set<std::pair<StrandClass, std::uint32_t>> instances;
+    for (StrandClass cls : params.classes())
+      instances.emplace(cls, lat.strand_id(i, cls));
+    EXPECT_EQ(instances.size(), params.alpha());
+  }
+}
+
+TEST_P(LatticeGrid, ColumnNodesTouchDistinctStrands) {
+  // The validity condition p ≥ s guarantees the s nodes of one column
+  // belong to s distinct RH (and LH) strand instances — the property the
+  // write planner relies on.
+  const Lattice lat = open_lattice(make_params(), 4000);
+  const CodeParams& params = lat.params();
+  if (params.alpha() == 1) return;
+  const std::int64_t s = params.s();
+  const NodeIndex base = 50 * s + 1;  // column start
+  for (StrandClass cls : params.classes()) {
+    std::set<std::uint32_t> ids;
+    for (std::int64_t r = 0; r < s; ++r)
+      ids.insert(lat.strand_id(base + r, cls));
+    EXPECT_EQ(ids.size(), static_cast<std::size_t>(s))
+        << "class " << to_string(cls);
+  }
+}
+
+TEST_P(LatticeGrid, IncidentEdgeCount) {
+  const Lattice lat = open_lattice(make_params(), 4000);
+  const auto alpha = lat.params().alpha();
+  EXPECT_EQ(lat.incident_edges(500).size(), 2 * alpha);
+}
+
+TEST_P(LatticeGrid, NodeClassPartition) {
+  const Lattice lat = open_lattice(make_params(), 4000);
+  const std::uint32_t s = lat.params().s();
+  for (NodeIndex i = 1; i <= 200; ++i) {
+    const NodeClass nc = lat.node_class(i);
+    if (s == 1) {
+      EXPECT_EQ(nc, NodeClass::kTop);
+    } else if (i % s == 1) {
+      EXPECT_EQ(nc, NodeClass::kTop);
+    } else if (i % s == 0) {
+      EXPECT_EQ(nc, NodeClass::kBottom);
+    } else {
+      EXPECT_EQ(nc, NodeClass::kCentral);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CodeSettings, LatticeGrid,
+    ::testing::Values(ParamTuple{1, 1, 0}, ParamTuple{2, 1, 1},
+                      ParamTuple{2, 1, 2}, ParamTuple{2, 2, 2},
+                      ParamTuple{2, 2, 5}, ParamTuple{2, 3, 4},
+                      ParamTuple{3, 1, 1}, ParamTuple{3, 1, 4},
+                      ParamTuple{3, 2, 2}, ParamTuple{3, 2, 5},
+                      ParamTuple{3, 3, 3}, ParamTuple{3, 3, 7},
+                      ParamTuple{3, 4, 4}, ParamTuple{3, 5, 5},
+                      ParamTuple{3, 5, 10}),
+    param_name);
+
+// --- Closed lattices -------------------------------------------------------
+
+TEST(ClosedLattice, WrapIsConsistent) {
+  const CodeParams params(3, 2, 5);
+  const Lattice lat(params, 100, Lattice::Boundary::kClosed);  // 10 | 100
+  // Every edge head lands on a valid node; every input edge exists.
+  for (NodeIndex i = 1; i <= 100; ++i) {
+    for (StrandClass cls : params.classes()) {
+      const NodeIndex j = lat.edge_head(lat.output_edge(i, cls));
+      EXPECT_TRUE(lat.is_valid_node(j));
+      const auto in = lat.input_edge(i, cls);
+      ASSERT_TRUE(in.has_value());
+      EXPECT_TRUE(lat.is_valid_node(in->tail));
+      // Input and output stay mutually inverse across the wrap.
+      EXPECT_EQ(lat.edge_head(*in), i);
+    }
+  }
+}
+
+TEST(ClosedLattice, InvalidSizesRejected) {
+  const CodeParams params(3, 2, 5);
+  EXPECT_THROW(Lattice(params, 101, Lattice::Boundary::kClosed), CheckError);
+  EXPECT_THROW(Lattice(params, 10, Lattice::Boundary::kClosed), CheckError);
+  EXPECT_NO_THROW(Lattice(params, 20, Lattice::Boundary::kClosed));
+  EXPECT_THROW(
+      Lattice(CodeParams::single(), 2, Lattice::Boundary::kClosed),
+      CheckError);
+  EXPECT_NO_THROW(
+      Lattice(CodeParams::single(), 3, Lattice::Boundary::kClosed));
+}
+
+TEST(ClosedLattice, RingTopologyForSingleEntanglement) {
+  const Lattice lat(CodeParams::single(), 10, Lattice::Boundary::kClosed);
+  EXPECT_EQ(lat.next_on_strand(10, StrandClass::kHorizontal), 1);
+  const auto prev = lat.prev_on_strand(1, StrandClass::kHorizontal);
+  ASSERT_TRUE(prev.has_value());
+  EXPECT_EQ(*prev, 10);
+}
+
+TEST(ClosedLattice, StrandIdPreservedAcrossWrap) {
+  const CodeParams params(3, 2, 4);
+  const Lattice lat(params, 64, Lattice::Boundary::kClosed);
+  for (StrandClass cls : params.classes()) {
+    NodeIndex cursor = 5;
+    const std::uint32_t id = lat.strand_id(cursor, cls);
+    for (int step = 0; step < 200; ++step) {
+      cursor = lat.next_on_strand(cursor, cls);
+      ASSERT_EQ(lat.strand_id(cursor, cls), id) << to_string(cls);
+    }
+  }
+}
+
+TEST(OpenLattice, EarlyNodesBootstrapAndLateEdgesDangle) {
+  const CodeParams params(3, 2, 5);
+  const Lattice lat(params, 40, Lattice::Boundary::kOpen);
+  EXPECT_FALSE(lat.input_edge(1, StrandClass::kHorizontal).has_value());
+  EXPECT_FALSE(lat.input_edge(2, StrandClass::kRightHanded).has_value());
+  // The H output of node 39 heads at 41 > n: dangling.
+  EXPECT_EQ(lat.edge_head(lat.output_edge(39, StrandClass::kHorizontal)),
+            41);
+  EXPECT_FALSE(lat.is_valid_node(41));
+}
+
+TEST(Lattice, EdgeCountIsAlphaPerNode) {
+  const Lattice lat = open_lattice(CodeParams(3, 2, 5), 100);
+  EXPECT_EQ(lat.n_edges(), 300u);
+}
+
+}  // namespace
+}  // namespace aec

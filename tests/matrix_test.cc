@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "gf/matrix.h"
+
+namespace aec::gf {
+namespace {
+
+TEST(Matrix, IdentityMultiplication) {
+  const Matrix id = Matrix::identity(4);
+  Matrix m(4, 4);
+  Rng rng(1);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      m.set(r, c, static_cast<Elem>(rng.uniform(256)));
+  EXPECT_EQ(m.multiply(id), m);
+  EXPECT_EQ(id.multiply(m), m);
+}
+
+TEST(Matrix, InvertIdentity) {
+  const Matrix id = Matrix::identity(5);
+  const auto inv = id.inverted();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(*inv, id);
+}
+
+TEST(Matrix, InvertRandomNonSingular) {
+  Rng rng(2);
+  int inverted_count = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    Matrix m(6, 6);
+    for (std::size_t r = 0; r < 6; ++r)
+      for (std::size_t c = 0; c < 6; ++c)
+        m.set(r, c, static_cast<Elem>(rng.uniform(256)));
+    const auto inv = m.inverted();
+    if (!inv) continue;  // singular draws are possible, just rare
+    ++inverted_count;
+    EXPECT_EQ(m.multiply(*inv), Matrix::identity(6));
+    EXPECT_EQ(inv->multiply(m), Matrix::identity(6));
+  }
+  EXPECT_GT(inverted_count, 40);  // P(singular) ≈ 0.4 % per draw
+}
+
+TEST(Matrix, SingularDetected) {
+  Matrix m(3, 3);  // all zero
+  EXPECT_FALSE(m.inverted().has_value());
+
+  Matrix dup(2, 2);  // duplicate rows
+  dup.set(0, 0, 7);
+  dup.set(0, 1, 9);
+  dup.set(1, 0, 7);
+  dup.set(1, 1, 9);
+  EXPECT_FALSE(dup.inverted().has_value());
+}
+
+TEST(Matrix, SelectRows) {
+  Matrix m(3, 2);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      m.set(r, c, static_cast<Elem>(10 * r + c));
+  const Matrix picked = m.select_rows({2, 0});
+  EXPECT_EQ(picked.rows(), 2u);
+  EXPECT_EQ(picked.at(0, 0), 20);
+  EXPECT_EQ(picked.at(1, 1), 1);
+  EXPECT_THROW(m.select_rows({5}), CheckError);
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), CheckError);
+  EXPECT_THROW(a.inverted(), CheckError);
+}
+
+TEST(CauchyMatrix, EverySquareSubmatrixInvertible) {
+  // The MDS property: any k rows of [I; C] form an invertible matrix.
+  // Spot-check all single and double substitutions for RS(4,3)-shape.
+  const std::size_t k = 4;
+  const std::size_t m = 3;
+  const Matrix c = cauchy_parity_matrix(k, m);
+
+  // Full generator rows: k identity rows then m cauchy rows.
+  auto generator_row = [&](std::size_t row, std::size_t col) -> Elem {
+    if (row < k) return row == col ? Elem{1} : Elem{0};
+    return c.at(row - k, col);
+  };
+
+  std::vector<std::size_t> rows(k);
+  // Enumerate all C(k+m, k) = 35 row subsets.
+  std::vector<std::size_t> idx(k);
+  for (std::size_t a = 0; a < k + m; ++a)
+    for (std::size_t b = a + 1; b < k + m; ++b)
+      for (std::size_t d = b + 1; d < k + m; ++d)
+        for (std::size_t e = d + 1; e < k + m; ++e) {
+          Matrix sub(k, k);
+          const std::size_t chosen[4] = {a, b, d, e};
+          for (std::size_t r = 0; r < k; ++r)
+            for (std::size_t col = 0; col < k; ++col)
+              sub.set(r, col, generator_row(chosen[r], col));
+          EXPECT_TRUE(sub.inverted().has_value())
+              << a << "," << b << "," << d << "," << e;
+        }
+}
+
+TEST(CauchyMatrix, TooLargeRejected) {
+  EXPECT_THROW(cauchy_parity_matrix(200, 100), CheckError);
+  EXPECT_NO_THROW(cauchy_parity_matrix(200, 56));
+}
+
+}  // namespace
+}  // namespace aec::gf

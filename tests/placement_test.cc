@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "sim/placement.h"
+
+namespace aec::sim {
+namespace {
+
+TEST(Placement, RoundRobinIsExact) {
+  Rng rng(1);
+  const auto locs =
+      place_blocks(10, 4, PlacementPolicy::kRoundRobin, rng);
+  const std::vector<LocationId> expected{0, 1, 2, 3, 0, 1, 2, 3, 0, 1};
+  EXPECT_EQ(locs, expected);
+}
+
+TEST(Placement, RandomIsDeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(place_blocks(1000, 100, PlacementPolicy::kRandom, a),
+            place_blocks(1000, 100, PlacementPolicy::kRandom, b));
+}
+
+TEST(Placement, RandomIsRoughlyBalanced) {
+  Rng rng(2);
+  const auto locs =
+      place_blocks(100000, 100, PlacementPolicy::kRandom, rng);
+  const Summary s = per_location_summary(locs, 100);
+  EXPECT_DOUBLE_EQ(s.mean, 1000.0);
+  // σ of a binomial(100000, 1/100) ≈ 31.5; allow generous slack.
+  EXPECT_LT(s.stddev, 60.0);
+  EXPECT_GT(s.stddev, 10.0);
+}
+
+TEST(Placement, FailedLocationsCountMatchesFraction) {
+  Rng rng(3);
+  for (double fraction : {0.10, 0.25, 0.50}) {
+    const auto failed = draw_failed_locations(100, fraction, rng);
+    std::uint32_t count = 0;
+    for (std::uint8_t f : failed) count += f;
+    EXPECT_EQ(count, static_cast<std::uint32_t>(std::ceil(fraction * 100)));
+  }
+}
+
+TEST(Placement, FailedLocationsEdgeFractions) {
+  Rng rng(4);
+  const auto none = draw_failed_locations(50, 0.0, rng);
+  const auto all = draw_failed_locations(50, 1.0, rng);
+  EXPECT_EQ(std::count(none.begin(), none.end(), 1), 0);
+  EXPECT_EQ(std::count(all.begin(), all.end(), 1), 50);
+  EXPECT_THROW(draw_failed_locations(50, 1.5, rng), CheckError);
+}
+
+TEST(Placement, StripeSpreadHistogramSmallExample) {
+  // 2 stripes of 3 blocks: {0,0,1} spans 2 locations, {2,3,4} spans 3.
+  const std::vector<LocationId> locs{0, 0, 1, 2, 3, 4};
+  const Histogram h = stripe_spread_histogram(locs, 3);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Placement, StripeSpreadMatchesPaperProbability) {
+  // Paper §V-C: with 100,000 stripes of 14 blocks over 100 random
+  // locations, ~38.4 % have all 14 blocks on distinct locations
+  // (100!/(86!·100^14) ≈ 0.3843).
+  Rng rng(2018);
+  const std::size_t stripes = 100000;
+  const auto locs =
+      place_blocks(stripes * 14, 100, PlacementPolicy::kRandom, rng);
+  const Histogram h = stripe_spread_histogram(locs, 14);
+  const double all_distinct =
+      static_cast<double>(h.count(14)) / static_cast<double>(stripes);
+  EXPECT_NEAR(all_distinct, 0.3843, 0.01);
+  // The paper's observed spread had its mode at 13 distinct locations.
+  EXPECT_GT(h.count(13), h.count(12));
+  EXPECT_GT(h.count(13), h.count(14) / 2);
+}
+
+TEST(Placement, HistogramRejectsRaggedInput) {
+  const std::vector<LocationId> locs{0, 1, 2, 3};
+  EXPECT_THROW(stripe_spread_histogram(locs, 3), CheckError);
+}
+
+}  // namespace
+}  // namespace aec::sim

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/codec/decoder.h"
+#include "core/codec/encoder.h"
+#include "core/codec/puncture.h"
+
+namespace aec {
+namespace {
+
+constexpr std::size_t kBlockSize = 16;
+
+TEST(Puncture, DropsExpectedCount) {
+  const CodeParams params(3, 2, 5);
+  InMemoryBlockStore store;
+  Encoder enc(params, kBlockSize, &store);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) enc.append(rng.random_block(kBlockSize));
+
+  const Lattice lat = enc.lattice();
+  const PunctureSpec spec{StrandClass::kLeftHanded, 2, 0};  // even LH tails
+  const std::uint64_t dropped = puncture(store, lat, {{spec}});
+  EXPECT_EQ(dropped, 50u);
+  EXPECT_EQ(store.size(), 400u - 50u);
+}
+
+TEST(Puncture, DisabledSpecDropsNothing) {
+  const CodeParams params(2, 2, 2);
+  InMemoryBlockStore store;
+  Encoder enc(params, kBlockSize, &store);
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) enc.append(rng.random_block(kBlockSize));
+  const PunctureSpec disabled{StrandClass::kHorizontal, 0, 0};
+  EXPECT_EQ(puncture(store, enc.lattice(), {{disabled}}), 0u);
+}
+
+TEST(Puncture, PuncturedLatticeStillRepairsSingleFailures) {
+  // Dropping half the LH parities leaves H and RH pairs intact: single
+  // data-block failures still repair with one XOR.
+  const CodeParams params(3, 2, 5);
+  InMemoryBlockStore store;
+  Encoder enc(params, kBlockSize, &store);
+  Rng rng(7);
+  std::vector<Bytes> truth;
+  for (int i = 0; i < 100; ++i) {
+    truth.push_back(rng.random_block(kBlockSize));
+    enc.append(truth.back());
+  }
+  puncture(store, enc.lattice(), {{PunctureSpec{StrandClass::kLeftHanded,
+                                                2, 0}}});
+  Decoder dec(params, 100, kBlockSize, &store);
+  store.erase(BlockKey::data(60));
+  const RepairReport report = dec.repair_all();
+  EXPECT_EQ(*store.find(BlockKey::data(60)), truth[59]);
+  EXPECT_EQ(report.nodes_unrecovered, 0u);
+}
+
+TEST(Puncture, ReducedOverheadArithmetic) {
+  const CodeParams params(3, 2, 5);
+  EXPECT_DOUBLE_EQ(punctured_overhead_percent(params, 1.0), 300.0);
+  EXPECT_DOUBLE_EQ(punctured_overhead_percent(params, 5.0 / 6.0), 250.0);
+  EXPECT_THROW(punctured_overhead_percent(params, 1.5), CheckError);
+}
+
+TEST(Puncture, FaultToleranceDegradesGracefully) {
+  // Punctured AE(3,2,5) (≈ rate of AE(2)+half) loses no more data than
+  // unpunctured AE(2,2,5)… is not guaranteed in general; what we check is
+  // the weaker, always-true property: puncturing never *improves*
+  // recovery for the same code under the same erasure pattern.
+  const CodeParams params(3, 2, 5);
+  auto run = [&](bool punctured) {
+    InMemoryBlockStore store;
+    Encoder enc(params, kBlockSize, &store);
+    Rng rng(9);
+    for (int i = 0; i < 300; ++i) enc.append(rng.random_block(kBlockSize));
+    if (punctured)
+      puncture(store, enc.lattice(),
+               {{PunctureSpec{StrandClass::kLeftHanded, 2, 0}}});
+    Decoder dec(params, 300, kBlockSize, &store);
+    Rng eraser(4242);  // same erasure stream in both runs
+    const Lattice& lat = dec.lattice();
+    for (NodeIndex i = 1; i <= 300; ++i) {
+      if (eraser.bernoulli(0.3)) store.erase(BlockKey::data(i));
+      for (StrandClass cls : params.classes())
+        if (eraser.bernoulli(0.3))
+          store.erase(BlockKey::parity(lat.output_edge(i, cls)));
+    }
+    return dec.repair_all().nodes_unrecovered;
+  };
+  EXPECT_LE(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace aec

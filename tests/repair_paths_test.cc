@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/analysis/repair_paths.h"
+
+namespace aec {
+namespace {
+
+Lattice interior_lattice(CodeParams params) {
+  return Lattice(std::move(params), 4000, Lattice::Boundary::kOpen);
+}
+
+TEST(RepairPaths, DepthZeroIsDirectReadOnly) {
+  const Lattice lat = interior_lattice(CodeParams(3, 2, 5));
+  EXPECT_EQ(count_node_recovery_ways(lat, 2000, 0), 1u);
+  EXPECT_EQ(count_repair_paths(lat, 2000, 0), 0u);
+}
+
+TEST(RepairPaths, DepthOneGivesAlphaAlternatives) {
+  // ways = 1 + α (each strand pair read directly).
+  for (auto [params, expected] :
+       {std::pair{CodeParams::single(), 2ull},
+        std::pair{CodeParams(2, 2, 5), 3ull},
+        std::pair{CodeParams(3, 2, 5), 4ull}}) {
+    const Lattice lat = interior_lattice(params);
+    EXPECT_EQ(count_node_recovery_ways(lat, 2000, 1), expected)
+        << params.name();
+  }
+}
+
+TEST(RepairPaths, DepthTwoClosedForm) {
+  // Interior: ways_edge(·,1) = 3, so ways_node(·,2) = 1 + α·9.
+  for (auto [params, expected] :
+       {std::pair{CodeParams::single(), 10ull},
+        std::pair{CodeParams(2, 2, 5), 19ull},
+        std::pair{CodeParams(3, 2, 5), 28ull}}) {
+    const Lattice lat = interior_lattice(params);
+    EXPECT_EQ(count_node_recovery_ways(lat, 2000, 2), expected)
+        << params.name();
+  }
+}
+
+TEST(RepairPaths, DepthThreeClosedForm) {
+  // ways_node(·,1) = 1+α; ways_edge(·,2) = 1 + 2·(1+α)·3 = 7+6α;
+  // ways_node(·,3) = 1 + α·(7+6α)².
+  for (auto [params, expected] :
+       {std::pair{CodeParams::single(), 1ull + 1 * 13 * 13},
+        std::pair{CodeParams(2, 2, 5), 1ull + 2 * 19 * 19},
+        std::pair{CodeParams(3, 2, 5), 1ull + 3 * 25 * 25}}) {
+    const Lattice lat = interior_lattice(params);
+    EXPECT_EQ(count_node_recovery_ways(lat, 2000, 3), expected)
+        << params.name();
+  }
+}
+
+TEST(RepairPaths, ExponentialGrowthInAlpha) {
+  // The §I claim: storage grows linearly with α, recovery paths grow
+  // exponentially. Compare path counts at a fixed depth.
+  const Lattice ae1 = interior_lattice(CodeParams::single());
+  const Lattice ae2 = interior_lattice(CodeParams(2, 2, 5));
+  const Lattice ae3 = interior_lattice(CodeParams(3, 2, 5));
+  const std::uint64_t p1 = count_repair_paths(ae1, 2000, 4);
+  const std::uint64_t p2 = count_repair_paths(ae2, 2000, 4);
+  const std::uint64_t p3 = count_repair_paths(ae3, 2000, 4);
+  EXPECT_GT(p2, 4 * p1);   // far super-linear
+  EXPECT_GT(p3, 4 * p2);
+}
+
+TEST(RepairPaths, BoundaryHasFewerPaths) {
+  // Early nodes miss input parities; late edges dangle — both prune
+  // repair alternatives (the paper's weak-extremity observation).
+  const CodeParams params(3, 2, 5);
+  const Lattice lat(params, 60, Lattice::Boundary::kOpen);
+  const std::uint64_t first = count_node_recovery_ways(lat, 1, 3);
+  const std::uint64_t last = count_node_recovery_ways(lat, 60, 3);
+  const std::uint64_t interior = count_node_recovery_ways(lat, 30, 3);
+  EXPECT_LT(first, interior);
+  EXPECT_LT(last, interior);
+}
+
+TEST(RepairPaths, EdgeWaysClosedForm) {
+  // Interior edge at depth 1: direct + option A + option B = 3.
+  const Lattice lat = interior_lattice(CodeParams(3, 2, 5));
+  const Edge e = lat.output_edge(2000, StrandClass::kRightHanded);
+  EXPECT_EQ(count_edge_recovery_ways(lat, e, 0), 1u);
+  EXPECT_EQ(count_edge_recovery_ways(lat, e, 1), 3u);
+}
+
+TEST(RepairPaths, DepthCapEnforced) {
+  const Lattice lat = interior_lattice(CodeParams(3, 2, 5));
+  EXPECT_THROW(count_node_recovery_ways(lat, 2000, 9), CheckError);
+}
+
+}  // namespace
+}  // namespace aec

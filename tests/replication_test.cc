@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "replication/replication.h"
+
+namespace aec::replication {
+namespace {
+
+TEST(Replication, EncodeMakesIdenticalCopies) {
+  Rng rng(1);
+  const Bytes block = rng.random_block(128);
+  const Replication rep(3);
+  const auto copies = rep.encode(block);
+  ASSERT_EQ(copies.size(), 3u);
+  for (const auto& c : copies) EXPECT_EQ(c, block);
+}
+
+TEST(Replication, DecodeUsesAnySurvivor) {
+  Rng rng(2);
+  const Bytes block = rng.random_block(64);
+  const Replication rep(4);
+  std::vector<std::optional<Bytes>> copies(4);
+  copies[2] = block;
+  const auto decoded = rep.decode(copies);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, block);
+}
+
+TEST(Replication, DecodeFailsWhenAllLost) {
+  const Replication rep(2);
+  EXPECT_FALSE(rep.decode({std::nullopt, std::nullopt}).has_value());
+}
+
+TEST(Replication, OverheadMatchesPaperTable4) {
+  EXPECT_DOUBLE_EQ(Replication(2).storage_overhead_percent(), 100.0);
+  EXPECT_DOUBLE_EQ(Replication(3).storage_overhead_percent(), 200.0);
+  EXPECT_DOUBLE_EQ(Replication(4).storage_overhead_percent(), 300.0);
+  EXPECT_EQ(Replication(3).single_failure_fanin(), 1u);
+}
+
+TEST(Replication, Validation) {
+  EXPECT_THROW(Replication(0), aec::CheckError);
+  const Replication rep(3);
+  EXPECT_THROW(rep.decode({std::nullopt}), aec::CheckError);
+  EXPECT_EQ(rep.name(), "3-way replication");
+}
+
+}  // namespace
+}  // namespace aec::replication

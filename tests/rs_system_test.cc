@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rs_system.h"
+
+namespace aec::sim {
+namespace {
+
+DisasterConfig config_with(double fraction, std::uint64_t seed = 42,
+                           MaintenanceMode mode = MaintenanceMode::kFull) {
+  DisasterConfig c;
+  c.n_locations = 100;
+  c.failed_fraction = fraction;
+  c.seed = seed;
+  c.maintenance = mode;
+  return c;
+}
+
+TEST(RsSystem, MetadataMatchesTable4) {
+  const RsScheme rs(10, 4);
+  EXPECT_EQ(rs.name(), "RS(10,4)");
+  EXPECT_DOUBLE_EQ(rs.storage_overhead_percent(), 40.0);
+  EXPECT_EQ(rs.single_failure_fanin(), 10u);
+  // Paper: 1M data blocks → 400,000 encoded blocks → 1.4M total.
+  EXPECT_EQ(rs.total_blocks(1'000'000), 1'400'000u);
+  EXPECT_EQ(RsScheme(8, 2).total_blocks(1'000'000), 1'250'000u);
+}
+
+TEST(RsSystem, NoDisasterNoDamage) {
+  const RsScheme rs(5, 5);
+  const DisasterResult r = rs.run_disaster(10000, config_with(0.0));
+  EXPECT_EQ(r.data_lost, 0u);
+  EXPECT_EQ(r.vulnerable_data, 0u);
+  EXPECT_EQ(r.repair_rounds, 0u);
+}
+
+TEST(RsSystem, AccountingInvariants) {
+  const RsScheme rs(8, 2);
+  const DisasterResult r = rs.run_disaster(40000, config_with(0.30));
+  EXPECT_EQ(r.data_blocks, 40000u);
+  EXPECT_EQ(r.data_unavailable, r.data_repaired + r.data_lost);
+  EXPECT_LE(r.single_failure_repairs, r.data_repaired);
+}
+
+TEST(RsSystem, LossMatchesBinomialExpectation) {
+  // With block-loss probability ≈ f, a stripe of k+m blocks is damaged
+  // when > m blocks are missing; lost data per damaged stripe is its
+  // missing data count. Compare against the analytic expectation.
+  const std::uint32_t k = 5;
+  const std::uint32_t m = 5;
+  const double f = 0.30;
+  const RsScheme rs(k, m);
+  const std::uint64_t n = 200000;
+  const DisasterResult r = rs.run_disaster(n, config_with(f, 2018));
+
+  // E[lost data per stripe] = Σ_{j>m} P(Bin(k+m,f)=j) · j·k/(k+m).
+  double expected_per_stripe = 0.0;
+  const std::uint32_t total = k + m;
+  auto choose = [](std::uint32_t nn, std::uint32_t kk) {
+    double c = 1.0;
+    for (std::uint32_t i = 0; i < kk; ++i)
+      c = c * (nn - i) / (i + 1);
+    return c;
+  };
+  for (std::uint32_t j = m + 1; j <= total; ++j) {
+    const double pj = choose(total, j) * std::pow(f, j) *
+                      std::pow(1 - f, total - j);
+    expected_per_stripe += pj * j * k / total;
+  }
+  const double expected = expected_per_stripe *
+                          (static_cast<double>(n) / k);
+  EXPECT_NEAR(static_cast<double>(r.data_lost), expected,
+              expected * 0.25 + 50.0);
+}
+
+TEST(RsSystem, SingleFailureShareShrinksWithDisasterSize) {
+  // Paper Fig 13 (RS): single failures dominate small disasters and fade
+  // in large ones.
+  const RsScheme rs(4, 12);
+  const DisasterResult small = rs.run_disaster(100000, config_with(0.10, 3));
+  const DisasterResult large = rs.run_disaster(100000, config_with(0.50, 3));
+  EXPECT_GT(small.single_failure_percent(),
+            large.single_failure_percent());
+}
+
+TEST(RsSystem, MinimalMaintenanceSkipsParityOnlyStripes) {
+  const RsScheme rs(5, 5);
+  const DisasterResult full = rs.run_disaster(
+      100000, config_with(0.30, 5, MaintenanceMode::kFull));
+  const DisasterResult minimal = rs.run_disaster(
+      100000, config_with(0.30, 5, MaintenanceMode::kMinimal));
+  EXPECT_LT(minimal.parity_repaired, full.parity_repaired);
+  // Same data recovery either way: stripes with missing data are always
+  // decoded when decodable.
+  EXPECT_EQ(minimal.data_lost, full.data_lost);
+  EXPECT_GE(minimal.vulnerable_data, full.vulnerable_data);
+}
+
+TEST(RsSystem, DamagedStripesLeaveVulnerableSurvivors) {
+  const RsScheme rs(5, 5);
+  const DisasterResult r = rs.run_disaster(100000, config_with(0.50, 7));
+  // At 50 % unavailability many RS(5,5) stripes exceed m=5 losses; their
+  // surviving data has no redundancy (paper Fig 12's RS(5,5) curve).
+  EXPECT_GT(r.vulnerable_percent(), 10.0);
+}
+
+TEST(RsSystem, HigherMProtectsBetter) {
+  const DisasterResult weak =
+      RsScheme(8, 2).run_disaster(100000, config_with(0.40, 9));
+  const DisasterResult strong =
+      RsScheme(4, 12).run_disaster(100000, config_with(0.40, 9));
+  EXPECT_GT(weak.data_lost, strong.data_lost);
+}
+
+TEST(RsSystem, RoundsDownToStripeMultiple) {
+  const RsScheme rs(8, 2);
+  const DisasterResult r = rs.run_disaster(1001, config_with(0.1));
+  EXPECT_EQ(r.data_blocks, 1000u);
+}
+
+}  // namespace
+}  // namespace aec::sim

@@ -1,0 +1,20 @@
+// The umbrella header must compile standalone and expose the core API.
+#include "aec.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, CoreTypesReachable) {
+  const aec::CodeParams params(3, 2, 5);
+  aec::InMemoryBlockStore store;
+  aec::Encoder encoder(params, 64, &store);
+  aec::Rng rng(1);
+  encoder.append(rng.random_block(64));
+  aec::Decoder decoder(params, 1, 64, &store);
+  EXPECT_TRUE(decoder.read_node(1).has_value());
+  EXPECT_EQ(aec::MinimalErasureSearch::me2_closed_form(params), 11u);
+  EXPECT_EQ(aec::experimental::MultiPitchLattice({1, 2}).me2_size(), 5u);
+}
+
+}  // namespace

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/codec/write_planner.h"
+
+namespace aec {
+namespace {
+
+TEST(WritePlanner, FullUtilizationIffSEqualsP) {
+  // Paper Fig 10: full-writes are optimized when s = p.
+  const WritePlan equal = plan_full_writes(CodeParams(3, 10, 10), 10);
+  EXPECT_DOUBLE_EQ(equal.strand_utilization, 1.0);
+
+  const WritePlan skewed = plan_full_writes(CodeParams(3, 5, 10), 10);
+  EXPECT_LT(skewed.strand_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(skewed.strand_utilization, 15.0 / 25.0);
+}
+
+TEST(WritePlanner, BucketsPerWaveIsS) {
+  EXPECT_EQ(plan_full_writes(CodeParams(3, 5, 10), 4).buckets_per_wave, 5u);
+  EXPECT_EQ(plan_full_writes(CodeParams(3, 10, 10), 4).buckets_per_wave,
+            10u);
+}
+
+TEST(WritePlanner, WaveGridIsColumnStaggered) {
+  const WritePlan plan = plan_full_writes(CodeParams(3, 2, 4), 4);
+  ASSERT_EQ(plan.wave.size(), 2u);
+  ASSERT_EQ(plan.wave[0].size(), 4u);
+  for (std::uint32_t r = 0; r < 2; ++r)
+    for (std::uint32_t c = 0; c < 4; ++c)
+      EXPECT_EQ(plan.wave[r][c], c + 1);
+  EXPECT_EQ(plan.waves, 4u);
+}
+
+TEST(WritePlanner, MemoryFootprintIsStrandCount) {
+  // Paper §IV-A: AE(3,5,5) keeps the last parity of its 15 strands.
+  EXPECT_EQ(plan_full_writes(CodeParams(3, 5, 5), 5).memory_blocks, 15u);
+  EXPECT_EQ(plan_full_writes(CodeParams(2, 2, 5), 5).memory_blocks, 7u);
+}
+
+TEST(WritePlanner, SingleEntanglementDegenerates) {
+  const WritePlan plan = plan_full_writes(CodeParams::single(), 6);
+  EXPECT_EQ(plan.buckets_per_wave, 1u);
+  EXPECT_DOUBLE_EQ(plan.strand_utilization, 1.0);
+}
+
+TEST(WritePlanner, RejectsEmptyWindow) {
+  EXPECT_THROW(plan_full_writes(CodeParams(3, 2, 5), 0), CheckError);
+}
+
+TEST(WritePlanner, WrapThroughputScalesWithS) {
+  // One wrap (p columns) always takes p waves; throughput is s blocks
+  // per wave, so for equal p the s = p setting writes twice as fast as
+  // s = p/2.
+  const WritePlan half = plan_full_writes(CodeParams(3, 5, 10), 10);
+  const WritePlan full = plan_full_writes(CodeParams(3, 10, 10), 10);
+  EXPECT_EQ(half.waves, full.waves);
+  EXPECT_EQ(full.buckets_per_wave, 2 * half.buckets_per_wave);
+}
+
+}  // namespace
+}  // namespace aec
