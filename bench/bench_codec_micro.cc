@@ -5,6 +5,9 @@
 // strand-head memory); these numbers ground it in bytes/second.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "common/rng.h"
 #include "common/xor_engine.h"
 #include "core/codec/decoder.h"
@@ -15,6 +18,27 @@
 namespace {
 
 using namespace aec;
+
+// Naive byte-at-a-time XOR: the baseline the word-wide engine must beat
+// (the custom main below asserts it does).
+void xor_into_bytewise(Bytes& dst, BytesView src) {
+  volatile std::uint8_t* d = dst.data();  // volatile defeats re-vectorization
+  for (std::size_t i = 0; i < dst.size(); ++i) d[i] = d[i] ^ src[i];
+}
+
+void BM_XorIntoByteLoop(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Bytes dst = rng.random_block(size);
+  const Bytes src = rng.random_block(size);
+  for (auto _ : state) {
+    xor_into_bytewise(dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_XorIntoByteLoop)->Arg(4096)->Arg(65536)->Arg(1 << 20);
 
 void BM_XorInto(benchmark::State& state) {
   const auto size = static_cast<std::size_t>(state.range(0));
@@ -143,6 +167,41 @@ void BM_TamperScan(benchmark::State& state) {
 }
 BENCHMARK(BM_TamperScan);
 
+// Quick self-check: the word-wide engine must beat the byte loop on a
+// 1 MiB block (run before the registered benchmarks so a regression in
+// xor_into is loud even when nobody reads the full table).
+double measure_xor_speedup() {
+  constexpr std::size_t kSize = 1 << 20;
+  constexpr int kReps = 64;
+  Rng rng(42);
+  Bytes dst = rng.random_block(kSize);
+  const Bytes src = rng.random_block(kSize);
+  const auto time_loop = [&](auto&& fn) {
+    fn();  // warm-up
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < kReps; ++r) fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  const double wide = time_loop([&] { xor_into(dst, src); });
+  const double bytewise = time_loop([&] { xor_into_bytewise(dst, src); });
+  return bytewise / wide;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const double speedup = measure_xor_speedup();
+  std::fprintf(stderr, "xor_into word-wide speedup over byte loop: %.1fx\n",
+               speedup);
+  if (speedup < 1.0)
+    std::fprintf(stderr,
+                 "WARNING: word-wide xor_into slower than the byte loop — "
+                 "engine regression?\n");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

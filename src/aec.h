@@ -19,3 +19,6 @@
 #include "core/lattice/code_params.h"
 #include "core/lattice/lattice.h"
 #include "core/lattice/multi_pitch.h"
+#include "pipeline/concurrent_block_store.h"
+#include "pipeline/parallel_encoder.h"
+#include "pipeline/thread_pool.h"

@@ -14,9 +14,31 @@ void xor_into(std::span<std::uint8_t> dst, BytesView src) {
   std::uint8_t* d = dst.data();
   const std::uint8_t* s = src.data();
 
-  // Word loop via memcpy keeps the code free of alignment UB; GCC/Clang
-  // lower the memcpys to plain loads/stores and vectorize the loop.
+  // Word loops via memcpy keep the code free of alignment UB; GCC/Clang
+  // lower the memcpys to plain loads/stores. The 4-word (32-byte) main
+  // loop gives the vectorizer a full SSE/AVX iteration to work with;
+  // bench_codec_micro's BM_XorIntoByteLoop baseline tracks the speedup
+  // over the naive byte loop (~8–15× on typical x86-64).
   std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    std::uint64_t a0, a1, a2, a3, b0, b1, b2, b3;
+    std::memcpy(&a0, d + i, 8);
+    std::memcpy(&a1, d + i + 8, 8);
+    std::memcpy(&a2, d + i + 16, 8);
+    std::memcpy(&a3, d + i + 24, 8);
+    std::memcpy(&b0, s + i, 8);
+    std::memcpy(&b1, s + i + 8, 8);
+    std::memcpy(&b2, s + i + 16, 8);
+    std::memcpy(&b3, s + i + 24, 8);
+    a0 ^= b0;
+    a1 ^= b1;
+    a2 ^= b2;
+    a3 ^= b3;
+    std::memcpy(d + i, &a0, 8);
+    std::memcpy(d + i + 8, &a1, 8);
+    std::memcpy(d + i + 16, &a2, 8);
+    std::memcpy(d + i + 24, &a3, 8);
+  }
   for (; i + 8 <= n; i += 8) {
     std::uint64_t a, b;
     std::memcpy(&a, d + i, 8);
@@ -24,7 +46,7 @@ void xor_into(std::span<std::uint8_t> dst, BytesView src) {
     a ^= b;
     std::memcpy(d + i, &a, 8);
   }
-  for (; i < n; ++i) d[i] ^= s[i];
+  for (; i < n; ++i) d[i] ^= s[i];  // byte tail
 }
 
 Bytes xor_blocks(BytesView a, BytesView b) {

@@ -12,8 +12,9 @@
 namespace aec {
 
 /// dst ^= src, element-wise. Both spans must have the same size.
-/// Works on unaligned buffers; processes 8 bytes per step (the compiler
-/// auto-vectorizes the word loop to SSE/AVX where available).
+/// Works on unaligned buffers; processes 32 bytes (4×64-bit words) per
+/// main-loop step with an 8-byte loop and byte-wise tail fallback (the
+/// compiler auto-vectorizes the word loops to SSE/AVX where available).
 void xor_into(std::span<std::uint8_t> dst, BytesView src);
 
 /// Returns a ^ b as a fresh buffer. Sizes must match.

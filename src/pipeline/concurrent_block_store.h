@@ -1,0 +1,81 @@
+// Thread-safe BlockStore implementations for the parallel pipeline.
+//
+// ConcurrentBlockStore shards keys across striped-lock buckets, so the
+// s concurrent bucket-seals of one wave (paper §V-B) rarely contend: two
+// puts serialize only when their keys hash to the same stripe. Because
+// each stripe owns a node-based map, a pointer returned by find() stays
+// valid until *that key* is erased or overwritten — a strictly stronger
+// guarantee than the base interface ("until the next mutating call"),
+// which concurrent writers could not honour.
+//
+// LockedBlockStore wraps any existing store (e.g. FileBlockStore) behind
+// one mutex, making put()/contains()/erase()/size() safe to call from
+// pipeline workers without touching the wrapped implementation. find()
+// still returns a pointer into the delegate, so reads must happen while
+// no writer runs (the ParallelEncoder's coordinator-only read discipline
+// guarantees exactly that).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "core/codec/block_store.h"
+
+namespace aec::pipeline {
+
+class ConcurrentBlockStore final : public BlockStore {
+ public:
+  static constexpr std::size_t kDefaultStripes = 16;
+
+  /// `stripes` is rounded up to a power of two (mask-based shard pick).
+  explicit ConcurrentBlockStore(std::size_t stripes = kDefaultStripes);
+  ~ConcurrentBlockStore() override;
+
+  void put(const BlockKey& key, Bytes value) override;
+  const Bytes* find(const BlockKey& key) const override;
+  bool contains(const BlockKey& key) const override;
+  bool erase(const BlockKey& key) override;
+  std::uint64_t size() const override;
+
+  /// Copies the payload out under the stripe lock — the fully
+  /// concurrent-safe read (find()'s pointer can outlive the lock).
+  std::optional<Bytes> get_copy(const BlockKey& key) const;
+
+  /// Visits every stored pair, one stripe at a time. The callback must
+  /// not reenter the store. Concurrent writers may slip between stripes;
+  /// for an exact snapshot, quiesce writers first.
+  void for_each(
+      const std::function<void(const BlockKey&, const Bytes&)>& fn) const;
+
+  std::size_t stripe_count() const noexcept { return stripes_.size(); }
+
+ private:
+  struct Stripe;
+  Stripe& stripe_of(const BlockKey& key) const noexcept;
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::size_t mask_;
+};
+
+class LockedBlockStore final : public BlockStore {
+ public:
+  /// The delegate must outlive this wrapper.
+  explicit LockedBlockStore(BlockStore* delegate);
+
+  void put(const BlockKey& key, Bytes value) override;
+  /// Safe only while no concurrent writer runs (see file comment).
+  const Bytes* find(const BlockKey& key) const override;
+  bool contains(const BlockKey& key) const override;
+  bool erase(const BlockKey& key) override;
+  std::uint64_t size() const override;
+
+  BlockStore* delegate() const noexcept { return delegate_; }
+
+ private:
+  mutable std::mutex mu_;
+  BlockStore* delegate_;
+};
+
+}  // namespace aec::pipeline

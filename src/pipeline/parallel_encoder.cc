@@ -1,0 +1,220 @@
+#include "pipeline/parallel_encoder.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/xor_engine.h"
+
+namespace aec::pipeline {
+
+const char* to_string(Schedule schedule) noexcept {
+  return schedule == Schedule::kStrands ? "strands" : "waves";
+}
+
+ParallelEncoder::ParallelEncoder(CodeParams params, std::size_t block_size,
+                                 BlockStore* store, std::size_t threads,
+                                 std::uint64_t resume_count,
+                                 Schedule schedule)
+    : params_(std::move(params)),
+      block_size_(block_size),
+      store_(store),
+      schedule_(schedule),
+      count_(resume_count),
+      pool_(threads) {
+  AEC_CHECK_MSG(block_size_ > 0, "block size must be positive");
+  AEC_CHECK_MSG(store_ != nullptr, "encoder needs a block store");
+  for (StrandClass cls : params_.classes())
+    heads_[static_cast<std::size_t>(cls)].resize(params_.strands_of(cls));
+}
+
+void ParallelEncoder::resolve_head(const Lattice& lat, NodeIndex i,
+                                   StrandClass cls) {
+  Bytes& slot = head_slot(cls, lat.strand_id(i, cls));
+  if (!slot.empty()) return;
+  if (auto in = lat.input_edge(i, cls)) {
+    const Bytes* stored = store_->find(BlockKey::parity(*in));
+    AEC_CHECK_MSG(stored != nullptr,
+                  "encoder head recovery: parity " << to_string(
+                      BlockKey::parity(*in)) << " missing from store");
+    slot = *stored;
+  } else {
+    slot.assign(block_size_, 0);  // strand bootstrap
+  }
+}
+
+EncodeResult ParallelEncoder::seal_node(const Lattice& lat, NodeIndex i,
+                                        BytesView data) {
+  EncodeResult result;
+  result.index = i;
+  for (StrandClass cls : params_.classes()) {
+    Bytes& head = head_slot(cls, lat.strand_id(i, cls));
+    xor_into(head, data);  // p_{i,j} = d_i XOR p_{h,i}, advancing the head
+    const Edge out = lat.output_edge(i, cls);
+    store_->put(BlockKey::parity(out), head);  // put() copies the head
+    result.parities.push_back(out);
+  }
+  store_->put(BlockKey::data(i), Bytes(data.begin(), data.end()));
+  return result;
+}
+
+std::vector<EncodeResult> ParallelEncoder::append_all(
+    const std::vector<Bytes>& blocks) {
+  for (const Bytes& b : blocks)
+    AEC_CHECK_MSG(b.size() == block_size_,
+                  "append_all: block size " << b.size() << " != configured "
+                                            << block_size_);
+  std::vector<EncodeResult> results(blocks.size());
+  if (blocks.empty()) return results;
+  if (schedule_ == Schedule::kStrands)
+    append_strand_scheduled(blocks, results);
+  else
+    append_wave_scheduled(blocks, results);
+  return results;
+}
+
+void ParallelEncoder::append_strand_scheduled(
+    const std::vector<Bytes>& blocks, std::vector<EncodeResult>& results) {
+  const NodeIndex first = static_cast<NodeIndex>(count_) + 1;
+  const NodeIndex last =
+      static_cast<NodeIndex>(count_ + blocks.size());
+  const Lattice lat(params_, static_cast<std::uint64_t>(last),
+                    Lattice::Boundary::kOpen);
+
+  // Coordinator fills missing head slots (the first window node of a
+  // strand names the recovery edge) and pre-shapes the results so worker
+  // writes land in disjoint, pre-allocated slots.
+  // Meanwhile bucket the window per strand instance: buckets[cls][id]
+  // lists block offsets in node order — one bucket, one task, one owner.
+  std::vector<std::vector<std::uint32_t>> buckets[3];
+  for (StrandClass cls : params_.classes())
+    buckets[static_cast<std::size_t>(cls)].resize(params_.strands_of(cls));
+  for (NodeIndex i = first; i <= last; ++i) {
+    const auto j = static_cast<std::size_t>(i - first);
+    results[j].index = i;
+    results[j].parities.resize(params_.classes().size());
+    for (StrandClass cls : params_.classes()) {
+      resolve_head(lat, i, cls);
+      buckets[static_cast<std::size_t>(cls)][lat.strand_id(i, cls)]
+          .push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+
+  // One task per strand instance: walk the strand's XOR chain across the
+  // whole window (§V-B partial writes — helical parities of later
+  // columns computed early; the per-strand order is all that matters).
+  for (StrandClass cls : params_.classes()) {
+    // classes() is the [H, RH, LH] prefix, so a parity's slot in
+    // EncodeResult::parities is the class value itself.
+    const auto slot = static_cast<std::size_t>(cls);
+    for (const std::vector<std::uint32_t>& bucket : buckets[slot]) {
+      if (bucket.empty()) continue;
+      pool_.submit([this, &lat, &blocks, &results, &bucket, cls, slot,
+                    first] {
+        Bytes& head =
+            head_slot(cls, lat.strand_id(first + bucket.front(), cls));
+        for (const std::uint32_t j : bucket) {
+          const NodeIndex i = first + j;
+          xor_into(head, blocks[j]);
+          const Edge out = lat.output_edge(i, cls);
+          store_->put(BlockKey::parity(out), head);
+          results[j].parities[slot] = out;
+        }
+      });
+    }
+  }
+
+  // Data blocks have no ordering constraints at all: chunk them evenly.
+  const std::size_t chunk_count =
+      std::min(pool_.thread_count(), blocks.size());
+  const std::size_t chunk = (blocks.size() + chunk_count - 1) / chunk_count;
+  for (std::size_t begin = 0; begin < blocks.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, blocks.size());
+    pool_.submit([this, &blocks, first, begin, end] {
+      for (std::size_t j = begin; j < end; ++j)
+        store_->put(BlockKey::data(first + static_cast<NodeIndex>(j)),
+                    blocks[j]);
+    });
+  }
+
+  pool_.wait_idle();  // batch barrier (rethrows the first task error)
+  count_ = static_cast<std::uint64_t>(last);
+}
+
+void ParallelEncoder::append_wave_scheduled(
+    const std::vector<Bytes>& blocks, std::vector<EncodeResult>& results) {
+  const std::uint32_t s = params_.s();
+  const NodeIndex first = static_cast<NodeIndex>(count_) + 1;
+  const NodeIndex last = static_cast<NodeIndex>(count_ + blocks.size());
+  const Lattice lat(params_, static_cast<std::uint64_t>(last),
+                    Lattice::Boundary::kOpen);
+
+  // Consume the planner's schedule for the window's columns. The plan
+  // covers whole columns; the window may start or end mid-column, so
+  // each wave is intersected with [first, last].
+  const NodeIndex first_col = (first - 1) / s + 1;
+  const NodeIndex last_col = (last - 1) / s + 1;
+  const WritePlan plan = plan_full_writes(
+      params_, static_cast<std::uint32_t>(last_col - first_col + 1));
+
+  // Index the sealed-at-wave grid once: wave number → its window nodes.
+  std::vector<std::vector<NodeIndex>> wave_nodes(plan.waves + 1);
+  for (std::uint32_t r = 0; r < s; ++r) {
+    for (std::uint32_t c = 0; c < plan.window_columns; ++c) {
+      const NodeIndex i = (first_col - 1 + c) * s + r + 1;
+      if (i >= first && i <= last)
+        wave_nodes[plan.wave[r][c]].push_back(i);
+    }
+  }
+
+  for (std::uint32_t wave = 1; wave <= plan.waves; ++wave) {
+    std::vector<NodeIndex>& nodes = wave_nodes[wave];
+    if (nodes.empty()) continue;
+    std::sort(nodes.begin(), nodes.end());
+
+    // Coordinator fills any missing head slots while no worker runs.
+    for (const NodeIndex i : nodes)
+      for (StrandClass cls : params_.classes()) resolve_head(lat, i, cls);
+
+    // Dispatch the wave: one bucket-seal per node. The validity condition
+    // p ≥ s makes the α·s strand instances of a column distinct, so the
+    // tasks' head slots are disjoint.
+    for (const NodeIndex i : nodes) {
+      const auto j = static_cast<std::size_t>(i - first);
+      pool_.submit([this, &lat, i, &block = blocks[j], &result = results[j]] {
+        result = seal_node(lat, i, block);
+      });
+    }
+    pool_.wait_idle();  // wave barrier: heads advance once per wave
+  }
+  count_ = static_cast<std::uint64_t>(last);
+}
+
+EncodeResult ParallelEncoder::append(BytesView data) {
+  AEC_CHECK_MSG(data.size() == block_size_,
+                "append: block size " << data.size() << " != configured "
+                                      << block_size_);
+  const NodeIndex i = static_cast<NodeIndex>(++count_);
+  const Lattice lat(params_, count_, Lattice::Boundary::kOpen);
+  for (StrandClass cls : params_.classes()) resolve_head(lat, i, cls);
+  return seal_node(lat, i, data);
+}
+
+Lattice ParallelEncoder::lattice() const {
+  AEC_CHECK_MSG(count_ > 0, "lattice(): nothing encoded yet");
+  return Lattice(params_, count_, Lattice::Boundary::kOpen);
+}
+
+std::size_t ParallelEncoder::cached_heads() const noexcept {
+  std::size_t cached = 0;
+  for (const auto& class_heads : heads_)
+    for (const Bytes& slot : class_heads)
+      if (!slot.empty()) ++cached;
+  return cached;
+}
+
+void ParallelEncoder::drop_head_cache() {
+  for (auto& class_heads : heads_)
+    for (Bytes& slot : class_heads) slot.clear();
+}
+
+}  // namespace aec::pipeline

@@ -1,0 +1,76 @@
+#include "pipeline/thread_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace aec::pipeline {
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity) {
+  AEC_CHECK_MSG(threads >= 1, "thread pool needs at least one worker");
+  AEC_CHECK_MSG(queue_capacity >= 1, "queue capacity must be positive");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mu_);
+    stop_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  AEC_CHECK_MSG(task != nullptr, "cannot submit an empty task");
+  {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return queue_.size() < capacity_ || stop_; });
+    AEC_CHECK_MSG(!stop_, "submit() on a stopping thread pool");
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      not_empty_.wait(lock, [this] { return !queue_.empty() || stop_; });
+      if (queue_.empty()) return;  // stop_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    not_full_.notify_one();
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace aec::pipeline

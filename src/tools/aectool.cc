@@ -1,7 +1,7 @@
 // aectool — command-line front end for entangled archives.
 //
 //   aectool init   --root DIR [--code AE(3,2,5)] [--block-size 4096]
-//   aectool put    --root DIR --name NAME FILE
+//   aectool put    --root DIR --name NAME [--threads N] FILE
 //   aectool get    --root DIR --name NAME [-o OUT]
 //   aectool ls     --root DIR
 //   aectool stat   --root DIR
@@ -29,7 +29,7 @@ using namespace aec::tools;
   std::fprintf(stderr, "usage: aectool <init|put|get|ls|stat|scrub|damage>"
                        " --root DIR [options]\n"
                        "  init   --code AE(a,s,p) --block-size N\n"
-                       "  put    --name NAME FILE\n"
+                       "  put    --name NAME [--threads N] FILE\n"
                        "  get    --name NAME [-o OUT]\n"
                        "  damage --fraction F [--seed S]\n");
   std::exit(2);
@@ -103,18 +103,34 @@ int run(const Args& args) {
     return 0;
   }
 
-  auto archive = Archive::open(root);
+  // --threads N (default 1) switches `put` to the parallel entanglement
+  // pipeline; every other command ignores it (no worker pool spun up).
+  const auto threads_it = args.options.find("--threads");
+  std::size_t threads = 1;
+  if (args.command == "put" && threads_it != args.options.end()) {
+    const std::string& text = threads_it->second;
+    const bool numeric =
+        !text.empty() && text.size() <= 4 &&
+        text.find_first_not_of("0123456789") == std::string::npos;
+    AEC_CHECK_MSG(numeric,
+                  "--threads wants a small number, got '" << text << "'");
+    threads = static_cast<std::size_t>(std::stoull(text));
+    AEC_CHECK_MSG(threads >= 1 && threads <= 1024,
+                  "--threads must be in [1, 1024], got " << text);
+  }
+  auto archive = Archive::open(root, threads);
 
   if (args.command == "put") {
     AEC_CHECK_MSG(args.positional.size() == 1, "put needs exactly one FILE");
     const Bytes content = read_whole_file(args.positional[0]);
     const FileEntry& entry = archive->add_file(option("--name"), content);
-    std::printf("archived '%s': %llu bytes in %llu block(s) from d%lld\n",
+    std::printf("archived '%s': %llu bytes in %llu block(s) from d%lld%s\n",
                 entry.name.c_str(),
                 static_cast<unsigned long long>(entry.bytes),
                 static_cast<unsigned long long>(
                     entry.block_count(archive->block_size())),
-                static_cast<long long>(entry.first_block));
+                static_cast<long long>(entry.first_block),
+                threads > 1 ? " (parallel pipeline)" : "");
     return 0;
   }
   if (args.command == "get") {

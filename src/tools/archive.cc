@@ -49,28 +49,37 @@ std::string hex_decode(const std::string& s) {
 }  // namespace
 
 Archive::Archive(fs::path root, CodeParams params, std::size_t block_size,
-                 std::uint64_t resume_count, std::vector<FileEntry> files)
+                 std::uint64_t resume_count, std::vector<FileEntry> files,
+                 std::size_t threads)
     : root_(std::move(root)),
       params_(std::move(params)),
       block_size_(block_size),
+      threads_(threads == 0 ? 1 : threads),
       files_(std::move(files)) {
   store_ = std::make_unique<FileBlockStore>(root_);
-  encoder_ = std::make_unique<Encoder>(params_, block_size_, store_.get(),
-                                       resume_count);
+  if (threads_ > 1) {
+    locked_store_ = std::make_unique<pipeline::LockedBlockStore>(store_.get());
+    parallel_encoder_ = std::make_unique<pipeline::ParallelEncoder>(
+        params_, block_size_, locked_store_.get(), threads_, resume_count);
+  } else {
+    encoder_ = std::make_unique<Encoder>(params_, block_size_, store_.get(),
+                                         resume_count);
+  }
 }
 
 std::unique_ptr<Archive> Archive::create(fs::path root, CodeParams params,
-                                         std::size_t block_size) {
+                                         std::size_t block_size,
+                                         std::size_t threads) {
   AEC_CHECK_MSG(!fs::exists(root / "manifest.txt"),
                 "archive already exists at " << root.string());
   fs::create_directories(root);
-  auto archive = std::unique_ptr<Archive>(
-      new Archive(std::move(root), std::move(params), block_size, 0, {}));
+  auto archive = std::unique_ptr<Archive>(new Archive(
+      std::move(root), std::move(params), block_size, 0, {}, threads));
   archive->save_manifest();
   return archive;
 }
 
-std::unique_ptr<Archive> Archive::open(fs::path root) {
+std::unique_ptr<Archive> Archive::open(fs::path root, std::size_t threads) {
   std::ifstream in(root / "manifest.txt");
   AEC_CHECK_MSG(in.good(),
                 "no archive manifest at " << (root / "manifest.txt").string());
@@ -109,7 +118,7 @@ std::unique_ptr<Archive> Archive::open(fs::path root) {
   return std::unique_ptr<Archive>(new Archive(std::move(root),
                                               CodeParams(alpha, s, p),
                                               block_size, blocks,
-                                              std::move(files)));
+                                              std::move(files), threads));
 }
 
 void Archive::save_manifest() const {
@@ -141,7 +150,7 @@ const FileEntry& Archive::add_file(const std::string& name,
   entry.bytes = content.size();
   const std::uint64_t count =
       std::max<std::uint64_t>(1, entry.block_count(block_size_));
-  for (std::uint64_t b = 0; b < count; ++b) {
+  const auto nth_block = [&](std::uint64_t b) {
     Bytes block(block_size_, 0);
     const std::size_t offset = b * block_size_;
     if (offset < content.size()) {
@@ -150,7 +159,18 @@ const FileEntry& Archive::add_file(const std::string& name,
       std::copy_n(content.begin() + static_cast<std::ptrdiff_t>(offset),
                   len, block.begin());
     }
-    encoder_->append(block);
+    return block;
+  };
+  if (parallel_encoder_) {
+    // The pipeline wants the whole window at once (strands/waves fan
+    // out over it); batching doubles peak memory, so it is parallel-only.
+    std::vector<Bytes> file_blocks;
+    file_blocks.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t b = 0; b < count; ++b)
+      file_blocks.push_back(nth_block(b));
+    parallel_encoder_->append_all(file_blocks);
+  } else {
+    for (std::uint64_t b = 0; b < count; ++b) encoder_->append(nth_block(b));
   }
   files_.push_back(std::move(entry));
   save_manifest();

@@ -26,6 +26,8 @@
 #include "core/codec/encoder.h"
 #include "core/codec/file_block_store.h"
 #include "core/codec/tamper.h"
+#include "pipeline/concurrent_block_store.h"
+#include "pipeline/parallel_encoder.h"
 
 namespace aec::tools {
 
@@ -48,16 +50,25 @@ struct ScrubReport {
 class Archive {
  public:
   /// Creates a fresh archive (root must not already hold a manifest).
+  /// `threads` > 1 turns on the parallel ingest pipeline: add_file
+  /// entangles through a ParallelEncoder over the (lock-wrapped) block
+  /// store. The on-disk layout and every block byte are identical either
+  /// way; `threads` is a per-process knob, not an archive property.
   static std::unique_ptr<Archive> create(std::filesystem::path root,
                                          CodeParams params,
-                                         std::size_t block_size);
+                                         std::size_t block_size,
+                                         std::size_t threads = 1);
 
   /// Opens an existing archive from its manifest.
-  static std::unique_ptr<Archive> open(std::filesystem::path root);
+  static std::unique_ptr<Archive> open(std::filesystem::path root,
+                                       std::size_t threads = 1);
 
   const CodeParams& params() const noexcept { return params_; }
   std::size_t block_size() const noexcept { return block_size_; }
-  std::uint64_t blocks() const noexcept { return encoder_->size(); }
+  std::uint64_t blocks() const noexcept {
+    return encoder_ ? encoder_->size() : parallel_encoder_->size();
+  }
+  std::size_t threads() const noexcept { return threads_; }
   const std::vector<FileEntry>& files() const noexcept { return files_; }
 
   /// Appends a file; returns its entry. Name must be unique.
@@ -80,16 +91,22 @@ class Archive {
  private:
   Archive(std::filesystem::path root, CodeParams params,
           std::size_t block_size, std::uint64_t resume_count,
-          std::vector<FileEntry> files);
+          std::vector<FileEntry> files, std::size_t threads);
 
   void save_manifest() const;
 
   std::filesystem::path root_;
   CodeParams params_;
   std::size_t block_size_;
+  std::size_t threads_;
   std::vector<FileEntry> files_;
   std::unique_ptr<FileBlockStore> store_;
+  // threads_ == 1: serial encoder_ straight onto store_.
+  // threads_ > 1: parallel_encoder_ through locked_store_ (FileBlockStore
+  // is not thread-safe on its own). Exactly one encoder is non-null.
+  std::unique_ptr<pipeline::LockedBlockStore> locked_store_;
   std::unique_ptr<Encoder> encoder_;
+  std::unique_ptr<pipeline::ParallelEncoder> parallel_encoder_;
 };
 
 }  // namespace aec::tools
