@@ -2,6 +2,12 @@
 
 namespace aec {
 
+std::optional<Bytes> BlockStore::get_copy(const BlockKey& key) const {
+  const Bytes* value = find(key);
+  if (value == nullptr) return std::nullopt;
+  return *value;
+}
+
 void InMemoryBlockStore::put(const BlockKey& key, Bytes value) {
   blocks_[key] = std::move(value);
 }

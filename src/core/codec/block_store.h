@@ -33,6 +33,12 @@ class BlockStore {
   virtual bool erase(const BlockKey& key) = 0;
 
   virtual std::uint64_t size() const = 0;
+
+  /// Copies the payload out, or nullopt when missing. The default goes
+  /// through find(); thread-safe stores override it to copy under their
+  /// own synchronization, which is what lets parallel repair workers read
+  /// while other workers write.
+  virtual std::optional<Bytes> get_copy(const BlockKey& key) const;
 };
 
 /// Hash-map backed store.

@@ -1,7 +1,5 @@
 #include "core/codec/decoder.h"
 
-#include <unordered_set>
-
 #include "common/check.h"
 #include "common/xor_engine.h"
 
@@ -9,8 +7,7 @@ namespace aec {
 
 Decoder::Decoder(CodeParams params, std::uint64_t n_nodes,
                  std::size_t block_size, BlockStore* store)
-    : params_(params),
-      lattice_(std::move(params), n_nodes, Lattice::Boundary::kOpen),
+    : lattice_(std::move(params), n_nodes, Lattice::Boundary::kOpen),
       block_size_(block_size),
       store_(store) {
   AEC_CHECK_MSG(store_ != nullptr, "decoder needs a block store");
@@ -21,145 +18,56 @@ bool Decoder::is_available(const BlockKey& key) const {
   return store_->contains(key);
 }
 
-std::optional<Bytes> Decoder::input_value(NodeIndex i,
-                                          StrandClass cls) const {
-  const auto in = lattice_.input_edge(i, cls);
-  if (!in) return Bytes(block_size_, 0);  // strand bootstrap: zero block
-  const Bytes* stored = store_->find(BlockKey::parity(*in));
-  if (stored == nullptr) return std::nullopt;
-  return *stored;
-}
-
 std::optional<StrandClass> Decoder::try_repair_node(NodeIndex i) {
   AEC_CHECK_MSG(lattice_.is_valid_node(i), "invalid node " << i);
   if (store_->contains(BlockKey::data(i))) return std::nullopt;
-  for (StrandClass cls : params_.classes()) {
-    auto in = input_value(i, cls);
-    if (!in) continue;
-    const Bytes* out = store_->find(BlockKey::parity(lattice_.output_edge(i, cls)));
-    if (out == nullptr) continue;
-    xor_into(*in, *out);  // d_i = p_{h,i} XOR p_{i,j}
-    store_->put(BlockKey::data(i), std::move(*in));
-    return cls;
-  }
-  return std::nullopt;
+  const RepairPlanner planner(&lattice_);
+  const auto step = planner.plan_node_repair(*store_, i);
+  if (!step) return std::nullopt;
+  store_->put(step->key,
+              reconstruct_step(lattice_, *store_, block_size_, *step));
+  return step->via;
 }
 
 bool Decoder::try_repair_edge(Edge e) {
   if (store_->contains(BlockKey::parity(e))) return false;
-  // Option A: p_{i,j} = d_i XOR p_{h,i}.
-  if (const Bytes* tail = store_->find(BlockKey::data(e.tail))) {
-    if (auto in = input_value(e.tail, e.cls)) {
-      xor_into(*in, *tail);
-      store_->put(BlockKey::parity(e), std::move(*in));
-      return true;
-    }
+  const RepairPlanner planner(&lattice_);
+  const auto step = planner.plan_edge_repair(*store_, e);
+  if (!step) return false;
+  store_->put(step->key,
+              reconstruct_step(lattice_, *store_, block_size_, *step));
+  return true;
+}
+
+void Decoder::execute_wave(const std::vector<RepairStep>& wave) {
+  // Serial hot path: no concurrent writer, so XOR straight from find()
+  // pointers — one block copy per repair instead of reconstruct_step's
+  // two defensive get_copy()s.
+  for (const RepairStep& step : wave) {
+    const RepairStepInputs inputs = repair_step_inputs(lattice_, step);
+    const auto fetch = [&](const BlockKey& key) {
+      const Bytes* value = store_->find(key);
+      AEC_CHECK_MSG(value != nullptr, "repair step input "
+                                          << to_string(key)
+                                          << " missing from store");
+      return value;
+    };
+    Bytes acc =
+        inputs.input ? *fetch(*inputs.input) : Bytes(block_size_, 0);
+    xor_into(acc, *fetch(inputs.other));
+    store_->put(step.key, std::move(acc));
   }
-  // Option B: p_{i,j} = d_j XOR p_{j,k}.
-  const NodeIndex j = lattice_.edge_head(e);
-  if (lattice_.is_valid_node(j)) {
-    const Bytes* head = store_->find(BlockKey::data(j));
-    const Bytes* next =
-        store_->find(BlockKey::parity(lattice_.output_edge(j, e.cls)));
-    if (head != nullptr && next != nullptr) {
-      store_->put(BlockKey::parity(e), xor_blocks(*head, *next));
-      return true;
-    }
-  }
-  return false;
 }
 
-bool Decoder::node_repairable(NodeIndex i) const {
-  for (StrandClass cls : params_.classes()) {
-    const auto in = lattice_.input_edge(i, cls);
-    const bool in_ok =
-        !in || store_->contains(BlockKey::parity(*in));  // bootstrap is ok
-    if (in_ok &&
-        store_->contains(BlockKey::parity(lattice_.output_edge(i, cls))))
-      return true;
-  }
-  return false;
-}
-
-bool Decoder::edge_repairable(Edge e) const {
-  const auto in = lattice_.input_edge(e.tail, e.cls);
-  const bool in_ok = !in || store_->contains(BlockKey::parity(*in));
-  if (in_ok && store_->contains(BlockKey::data(e.tail))) return true;
-  const NodeIndex j = lattice_.edge_head(e);
-  if (lattice_.is_valid_node(j) && store_->contains(BlockKey::data(j)) &&
-      store_->contains(BlockKey::parity(lattice_.output_edge(j, e.cls))))
-    return true;
-  return false;
-}
-
-void Decoder::materialize_node(NodeIndex i) {
-  auto used = try_repair_node(i);
-  AEC_CHECK_MSG(used.has_value(), "materialize_node: d" << i
-                                      << " was not repairable");
-}
-
-void Decoder::materialize_edge(Edge e) {
-  AEC_CHECK_MSG(try_repair_edge(e), "materialize_edge: "
-                                        << to_string(BlockKey::parity(e))
-                                        << " was not repairable");
-}
-
-std::vector<BlockKey> Decoder::collect_missing() const {
-  std::vector<BlockKey> missing;
-  const auto n = static_cast<NodeIndex>(lattice_.n_nodes());
-  for (NodeIndex i = 1; i <= n; ++i) {
-    const BlockKey dk = BlockKey::data(i);
-    if (!store_->contains(dk)) missing.push_back(dk);
-    for (StrandClass cls : params_.classes()) {
-      const BlockKey pk = BlockKey::parity(lattice_.output_edge(i, cls));
-      if (!store_->contains(pk)) missing.push_back(pk);
-    }
-  }
-  return missing;
+void Decoder::execute_plan(const RepairPlan& plan) {
+  for (const std::vector<RepairStep>& wave : plan.waves) execute_wave(wave);
 }
 
 RepairReport Decoder::repair_all(std::uint32_t max_rounds) {
-  RepairReport report;
-  std::vector<BlockKey> missing = collect_missing();
-
-  while (!missing.empty()) {
-    if (max_rounds != 0 && report.rounds >= max_rounds) break;
-    // Synchronous round: decide against availability at round start.
-    std::vector<BlockKey> repairable;
-    std::vector<BlockKey> still_missing;
-    for (const BlockKey& key : missing) {
-      const bool ok = key.is_data() ? node_repairable(key.index)
-                                    : edge_repairable(key.edge());
-      (ok ? repairable : still_missing).push_back(key);
-    }
-    if (repairable.empty()) break;  // fixpoint
-
-    std::uint64_t nodes = 0;
-    std::uint64_t edges = 0;
-    for (const BlockKey& key : repairable) {
-      if (key.is_data()) {
-        materialize_node(key.index);
-        ++nodes;
-      } else {
-        materialize_edge(key.edge());
-        ++edges;
-      }
-    }
-    ++report.rounds;
-    report.nodes_repaired_per_round.push_back(nodes);
-    report.edges_repaired_per_round.push_back(edges);
-    report.nodes_repaired_total += nodes;
-    report.edges_repaired_total += edges;
-    missing = std::move(still_missing);
-  }
-
-  for (const BlockKey& key : missing) {
-    if (key.is_data())
-      ++report.nodes_unrecovered;
-    else
-      ++report.edges_unrecovered;
-  }
-  return report;
+  const RepairPlanner planner(&lattice_);
+  return execute_repair_plan(
+      planner, *store_, max_rounds,
+      [this](const std::vector<RepairStep>& wave) { execute_wave(wave); });
 }
 
 std::optional<Bytes> Decoder::read_node(NodeIndex i) {
@@ -167,62 +75,14 @@ std::optional<Bytes> Decoder::read_node(NodeIndex i) {
   if (const Bytes* direct = store_->find(BlockKey::data(i)))
     return *direct;
 
-  // Expanding-neighbourhood repair: collect the missing blocks within a
-  // hop radius of the target, run the availability fixpoint on that
-  // subgraph, and materialize in dependency order. Grow the radius when
-  // the close concentric paths are themselves damaged (paper Fig 2).
-  const auto n = lattice_.n_nodes();
-  const std::uint32_t max_radius =
-      static_cast<std::uint32_t>(2 * n + 4);  // covers the whole lattice
-  for (std::uint32_t radius = 2; radius <= max_radius; radius *= 2) {
-    // BFS over the block-incidence graph, nodes and edges alternating.
-    std::unordered_set<BlockKey, BlockKeyHash> in_scope;
-    std::vector<BlockKey> frontier{BlockKey::data(i)};
-    in_scope.insert(frontier.front());
-    for (std::uint32_t depth = 0; depth < radius && !frontier.empty();
-         ++depth) {
-      std::vector<BlockKey> next;
-      for (const BlockKey& key : frontier) {
-        std::vector<BlockKey> neighbours;
-        if (key.is_data()) {
-          for (const Edge& e : lattice_.incident_edges(key.index))
-            neighbours.push_back(BlockKey::parity(e));
-        } else {
-          const Edge e = key.edge();
-          neighbours.push_back(BlockKey::data(e.tail));
-          const NodeIndex head = lattice_.edge_head(e);
-          if (lattice_.is_valid_node(head))
-            neighbours.push_back(BlockKey::data(head));
-        }
-        for (const BlockKey& nb : neighbours)
-          if (in_scope.insert(nb).second) next.push_back(nb);
-      }
-      frontier = std::move(next);
-    }
-
-    // Local fixpoint: repeatedly materialize any in-scope missing block
-    // that is repairable from current availability.
-    bool progress = true;
-    while (progress && !store_->contains(BlockKey::data(i))) {
-      progress = false;
-      for (const BlockKey& key : in_scope) {
-        if (store_->contains(key)) continue;
-        if (key.is_data()) {
-          if (node_repairable(key.index)) {
-            materialize_node(key.index);
-            progress = true;
-          }
-        } else if (edge_repairable(key.edge())) {
-          materialize_edge(key.edge());
-          progress = true;
-        }
-      }
-    }
-    if (const Bytes* repaired = store_->find(BlockKey::data(i)))
-      return *repaired;
-    if (in_scope.size() >= n * (1 + params_.alpha())) break;  // whole lattice
-  }
-  return std::nullopt;
+  const RepairPlanner planner(&lattice_);
+  const auto plan = planner.plan_for_target(*store_, i);
+  if (!plan) return std::nullopt;
+  execute_plan(*plan);
+  const Bytes* repaired = store_->find(BlockKey::data(i));
+  AEC_CHECK_MSG(repaired != nullptr,
+                "read_node: plan for d" << i << " did not materialize it");
+  return *repaired;
 }
 
 }  // namespace aec

@@ -4,15 +4,19 @@
 //   node  d_i    = p_{h,i} XOR p_{i,j}   — α options, one per strand;
 //   edge  p_{i,j} = d_i XOR p_{h,i}      — or d_j XOR p_{j,k}: two options.
 //
-// Multi-failure recovery runs synchronous rounds: the set of repairable
-// blocks is computed against availability at round start, then applied at
-// once. This matches the paper's round accounting (Table VI) and is
-// deterministic (order-independent).
+// Multi-failure recovery is planned by the shared RepairPlanner
+// (synchronous rounds, decided against availability at round start — the
+// paper's Table VI accounting, deterministic and order-independent) and
+// executed here serially, one planned XOR at a time. The wave-parallel
+// executor lives in pipeline/parallel_repairer.h and produces
+// byte-identical stores and identical reports.
 //
 // read_node() implements the "shortest available path" behaviour of
-// Fig 2: it runs the fixpoint on an expanding neighbourhood of the target
-// (concentric paths), touching remote parts of the lattice only when the
-// close paths are themselves damaged.
+// Fig 2 through RepairPlanner::plan_for_target: the plan is computed on
+// an expanding neighbourhood of the target (concentric paths), touching
+// remote parts of the lattice only when the close paths are themselves
+// damaged, and repairs are materialized only when the target is
+// actually reachable.
 #pragma once
 
 #include <cstdint>
@@ -21,23 +25,10 @@
 
 #include "common/bytes.h"
 #include "core/codec/block_store.h"
+#include "core/codec/repair_planner.h"
 #include "core/lattice/lattice.h"
 
 namespace aec {
-
-/// Outcome of a global repair pass.
-struct RepairReport {
-  /// Rounds that repaired at least one block.
-  std::uint32_t rounds = 0;
-  /// Blocks regenerated per round (data and parity separately).
-  std::vector<std::uint64_t> nodes_repaired_per_round;
-  std::vector<std::uint64_t> edges_repaired_per_round;
-  std::uint64_t nodes_repaired_total = 0;
-  std::uint64_t edges_repaired_total = 0;
-  /// Blocks that remained missing at fixpoint (irrecoverable).
-  std::uint64_t nodes_unrecovered = 0;
-  std::uint64_t edges_unrecovered = 0;
-};
 
 class Decoder {
  public:
@@ -61,31 +52,19 @@ class Decoder {
   /// Returns nullopt when the block is irrecoverable.
   std::optional<Bytes> read_node(NodeIndex i);
 
-  /// Synchronous round-based repair of everything recoverable.
+  /// Synchronous round-based repair of everything recoverable: plans the
+  /// waves, then executes them in order.
   RepairReport repair_all(std::uint32_t max_rounds = 0 /* unlimited */);
 
   /// True iff the block's payload is present in the store.
   bool is_available(const BlockKey& key) const;
 
  private:
-  /// Input parity value for node i on cls: stored payload, the zero block
-  /// at an open-lattice bootstrap, or nullopt when genuinely missing.
-  std::optional<Bytes> input_value(NodeIndex i, StrandClass cls) const;
+  /// Applies planned steps to the store, in order.
+  void execute_wave(const std::vector<RepairStep>& wave);
+  void execute_plan(const RepairPlan& plan);
 
-  /// The set of currently missing block keys (data 1..n, parities).
-  std::vector<BlockKey> collect_missing() const;
-
-  /// Availability-only repairability predicates.
-  bool node_repairable(NodeIndex i) const;
-  bool edge_repairable(Edge e) const;
-
-  /// Materializes one block from already-available neighbours (single
-  /// XOR). Precondition: the corresponding *_repairable() holds.
-  void materialize_node(NodeIndex i);
-  void materialize_edge(Edge e);
-
-  CodeParams params_;
-  Lattice lattice_;
+  Lattice lattice_;  // owns the CodeParams copy (lattice_.params())
   std::size_t block_size_;
   BlockStore* store_;
 };

@@ -1,0 +1,220 @@
+// Repair planning, separated from repair execution (mirror of the
+// WritePlanner on the write path).
+//
+// The paper's central repair claim (§V, Table VI, Figs 11–13) is about
+// *rounds*: multi-failure recovery proceeds in synchronous rounds, and
+// within one round every repair depends only on blocks available at round
+// start — so a round is an embarrassingly parallel wave. The planner makes
+// that structure explicit: given an availability snapshot of the lattice,
+// it computes dependency-ordered repair waves (wave w contains exactly the
+// blocks whose inputs are intact or repaired in waves < w) plus the
+// residue that no wave can reach.
+//
+// Planning is a pure availability computation — no payload bytes. That is
+// what lets the byte codec (Decoder, ParallelRepairer; open lattices) and
+// the disaster simulation (sim::AeScheme; closed lattices) share one
+// implementation: simulated round counts and real repair rounds cannot
+// drift apart. Each planned step also records *how* to reconstruct the
+// block (which strand for a node, which side for a parity), chosen
+// against wave-start availability, so executors — serial or parallel —
+// never consult availability again and never read a block written in the
+// same wave. Any valid reconstruction path yields the same bytes, so the
+// executed result is byte-identical to the historical sequential repair.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/codec/block_key.h"
+#include "core/codec/block_store.h"
+#include "core/lattice/lattice.h"
+
+namespace aec {
+
+/// Which parities a repair pass regenerates (paper §V-C-2).
+enum class RepairPolicy {
+  kFull,     ///< repair every recoverable block
+  kMinimal,  ///< parities only while adjacent to a missing data block
+};
+
+/// Block presence flags for one lattice: data 1..n plus the α parity
+/// classes (a parity is identified by its tail, always in [1, n]).
+class AvailabilityMap {
+ public:
+  /// Starts with every block present.
+  AvailabilityMap(const CodeParams& params, std::uint64_t n_nodes);
+
+  std::uint64_t n_nodes() const noexcept { return n_; }
+
+  bool data_ok(NodeIndex i) const noexcept {
+    return data_[static_cast<std::size_t>(i)] != 0;
+  }
+  bool parity_ok(Edge e) const noexcept {
+    return parity_[static_cast<std::size_t>(e.cls)]
+                  [static_cast<std::size_t>(e.tail)] != 0;
+  }
+  bool ok(const BlockKey& key) const noexcept {
+    return key.is_data() ? data_ok(key.index) : parity_ok(key.edge());
+  }
+
+  void set(const BlockKey& key, bool present) noexcept {
+    auto& flags = key.is_data() ? data_ : parity_[static_cast<std::size_t>(
+                                              key.cls)];
+    flags[static_cast<std::size_t>(key.index)] = present ? 1 : 0;
+  }
+
+ private:
+  std::uint64_t n_;
+  std::vector<std::uint8_t> data_;                      // [0, n], 1-based
+  std::array<std::vector<std::uint8_t>, 3> parity_;     // per class
+};
+
+/// One planned reconstruction: a single XOR of two blocks, both available
+/// before the step's wave starts.
+struct RepairStep {
+  BlockKey key;
+  /// Nodes: the strand class whose two incident parities are used.
+  /// Parities: the class is key.edge().cls; `via` mirrors it.
+  StrandClass via{StrandClass::kHorizontal};
+  /// Parities only: reconstruct from the head side (d_j XOR p_{j,k})
+  /// instead of the tail side (d_i XOR p_{h,i}).
+  bool from_head = false;
+};
+
+/// Dependency-ordered repair schedule.
+struct RepairPlan {
+  /// waves[w]: blocks repairable in synchronous round w+1. Within a wave
+  /// every step reads only blocks available before the wave — steps are
+  /// mutually independent and may run concurrently.
+  std::vector<std::vector<RepairStep>> waves;
+  /// Missing blocks no wave reaches: irrecoverable at the fixpoint, or
+  /// unprocessed when a max_rounds cap stopped planning early.
+  std::vector<BlockKey> residue;
+  std::uint64_t nodes_planned = 0;
+  std::uint64_t edges_planned = 0;
+
+  std::uint32_t rounds() const noexcept {
+    return static_cast<std::uint32_t>(waves.size());
+  }
+};
+
+/// Outcome of a repair pass (planned or executed); the paper's Table VI
+/// round accounting plus executor throughput.
+struct RepairReport {
+  /// Rounds that repaired at least one block.
+  std::uint32_t rounds = 0;
+  /// Blocks regenerated per round (data and parity separately).
+  std::vector<std::uint64_t> nodes_repaired_per_round;
+  std::vector<std::uint64_t> edges_repaired_per_round;
+  std::uint64_t nodes_repaired_total = 0;
+  std::uint64_t edges_repaired_total = 0;
+  /// Blocks that remained missing at fixpoint (irrecoverable).
+  std::uint64_t nodes_unrecovered = 0;
+  std::uint64_t edges_unrecovered = 0;
+  /// Executor wall time (0 when the plan was not executed).
+  double wall_seconds = 0.0;
+
+  std::uint64_t blocks_repaired_total() const noexcept {
+    return nodes_repaired_total + edges_repaired_total;
+  }
+  double blocks_per_second() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(blocks_repaired_total()) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Fills the round/residue accounting of a report from a plan; the caller
+/// stamps wall_seconds after executing.
+RepairReport report_from_plan(const RepairPlan& plan);
+
+class RepairPlanner {
+ public:
+  /// Plans over `lattice` (not owned; must outlive the planner). Works on
+  /// open lattices (codec) and closed ones (simulation).
+  explicit RepairPlanner(const Lattice* lattice);
+
+  const Lattice& lattice() const noexcept { return *lattice_; }
+
+  /// Availability snapshot of a byte store holding this lattice.
+  AvailabilityMap snapshot(const BlockStore& store) const;
+
+  // --- availability-only repairability predicates ---------------------------
+
+  /// d_i is one XOR away: some strand has both incident parities (an
+  /// open-lattice bootstrap input counts as present).
+  bool node_repairable(NodeIndex i, const AvailabilityMap& avail) const;
+
+  /// p_{i,j} is one XOR away: tail side (d_i + input parity) or head side
+  /// (d_j + successor parity).
+  bool edge_repairable(Edge e, const AvailabilityMap& avail) const;
+
+  /// Minimal-maintenance filter: the parity is part of a data repair's
+  /// dependency chain, i.e. adjacent to a missing data block.
+  bool edge_adjacent_to_missing_data(Edge e,
+                                     const AvailabilityMap& avail) const;
+
+  /// Computes the full wave schedule from `avail`, which is advanced to
+  /// the resulting fixpoint state (useful for post-repair censuses).
+  /// max_rounds = 0 means unlimited.
+  RepairPlan plan(AvailabilityMap& avail,
+                  RepairPolicy policy = RepairPolicy::kFull,
+                  std::uint32_t max_rounds = 0) const;
+
+  /// Radius-scoped query for the read path (paper Fig 2): plans over an
+  /// expanding BFS neighbourhood of `target`, growing the radius only
+  /// when the close concentric paths are themselves damaged. Returns the
+  /// waves needed to materialize d_target (truncated after the wave that
+  /// repairs it; empty when it is already available), or nullopt when the
+  /// target is irrecoverable. Availability is probed lazily against
+  /// `store`, so the cost scales with the damaged neighbourhood, not the
+  /// lattice.
+  std::optional<RepairPlan> plan_for_target(const BlockStore& store,
+                                            NodeIndex target) const;
+
+  /// Single-block plan queries against live store availability (lazy,
+  /// local probes): the one-XOR step that would repair d_i / p_{i,j}
+  /// right now, or nullopt. These are the planner-side source of truth
+  /// for Decoder::try_repair_node / try_repair_edge.
+  std::optional<RepairStep> plan_node_repair(const BlockStore& store,
+                                             NodeIndex i) const;
+  std::optional<RepairStep> plan_edge_repair(const BlockStore& store,
+                                             Edge e) const;
+
+ private:
+  const Lattice* lattice_;
+};
+
+/// Shared repair_all flow (serial Decoder and ParallelRepairer):
+/// snapshot → plan (kFull) → run every wave through `run_wave` →
+/// report stamped with wall time. Keeping the flow in one place is what
+/// keeps the serial and parallel reports structurally identical.
+RepairReport execute_repair_plan(
+    const RepairPlanner& planner, const BlockStore& store,
+    std::uint32_t max_rounds,
+    const std::function<void(const std::vector<RepairStep>&)>& run_wave);
+
+/// The two blocks a planned step XORs. `input` is nullopt at an
+/// open-lattice strand bootstrap (the virtual zero block).
+struct RepairStepInputs {
+  std::optional<BlockKey> input;
+  BlockKey other;
+};
+
+/// Resolves the keys a step reads, per its recorded strand/side choice.
+RepairStepInputs repair_step_inputs(const Lattice& lattice,
+                                    const RepairStep& step);
+
+/// Executes one planned step against a byte store: fetches the two input
+/// blocks the plan chose (via get_copy, so thread-safe stores make this
+/// callable from concurrent wave workers) and returns their XOR. The
+/// inputs are guaranteed present if all earlier waves were applied.
+/// Serial executors holding the only reference to the store can skip the
+/// defensive copies by XORing find() pointers over repair_step_inputs().
+Bytes reconstruct_step(const Lattice& lattice, const BlockStore& store,
+                       std::size_t block_size, const RepairStep& step);
+
+}  // namespace aec

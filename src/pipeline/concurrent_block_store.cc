@@ -122,4 +122,11 @@ std::uint64_t LockedBlockStore::size() const {
   return delegate_->size();
 }
 
+std::optional<Bytes> LockedBlockStore::get_copy(const BlockKey& key) const {
+  std::lock_guard lock(mu_);
+  const Bytes* value = delegate_->find(key);
+  if (value == nullptr) return std::nullopt;
+  return *value;
+}
+
 }  // namespace aec::pipeline

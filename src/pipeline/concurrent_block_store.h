@@ -41,7 +41,7 @@ class ConcurrentBlockStore final : public BlockStore {
 
   /// Copies the payload out under the stripe lock — the fully
   /// concurrent-safe read (find()'s pointer can outlive the lock).
-  std::optional<Bytes> get_copy(const BlockKey& key) const;
+  std::optional<Bytes> get_copy(const BlockKey& key) const override;
 
   /// Visits every stored pair, one stripe at a time. The callback must
   /// not reenter the store. Concurrent writers may slip between stripes;
@@ -70,6 +70,9 @@ class LockedBlockStore final : public BlockStore {
   bool contains(const BlockKey& key) const override;
   bool erase(const BlockKey& key) override;
   std::uint64_t size() const override;
+  /// Copies under the wrapper mutex — safe against concurrent put():
+  /// this is the read pipeline workers must use.
+  std::optional<Bytes> get_copy(const BlockKey& key) const override;
 
   BlockStore* delegate() const noexcept { return delegate_; }
 

@@ -1,0 +1,62 @@
+#include "pipeline/parallel_repairer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aec::pipeline {
+
+ParallelRepairer::ParallelRepairer(CodeParams params, std::uint64_t n_nodes,
+                                   std::size_t block_size, BlockStore* store,
+                                   std::size_t threads)
+    : lattice_(std::move(params), n_nodes, Lattice::Boundary::kOpen),
+      block_size_(block_size),
+      store_(store),
+      pool_(threads) {
+  AEC_CHECK_MSG(store_ != nullptr, "repairer needs a block store");
+  AEC_CHECK_MSG(block_size_ > 0, "block size must be positive");
+}
+
+void ParallelRepairer::execute_wave(const std::vector<RepairStep>& wave) {
+  // Contiguous chunks, one task each; small waves keep the dispatch
+  // overhead at one task per step at most.
+  const std::size_t chunk_count =
+      std::min(pool_.thread_count(), wave.size());
+  const std::size_t chunk = (wave.size() + chunk_count - 1) / chunk_count;
+  for (std::size_t begin = 0; begin < wave.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, wave.size());
+    pool_.submit([this, &wave, begin, end] {
+      for (std::size_t j = begin; j < end; ++j)
+        store_->put(wave[j].key, reconstruct_step(lattice_, *store_,
+                                                  block_size_, wave[j]));
+    });
+  }
+  pool_.wait_idle();  // wave barrier (rethrows the first task error)
+}
+
+void ParallelRepairer::execute_plan(const RepairPlan& plan) {
+  for (const std::vector<RepairStep>& wave : plan.waves) execute_wave(wave);
+}
+
+RepairReport ParallelRepairer::repair_all(std::uint32_t max_rounds) {
+  const RepairPlanner planner(&lattice_);
+  return execute_repair_plan(
+      planner, *store_, max_rounds,
+      [this](const std::vector<RepairStep>& wave) { execute_wave(wave); });
+}
+
+std::optional<Bytes> ParallelRepairer::read_node(NodeIndex i) {
+  AEC_CHECK_MSG(lattice_.is_valid_node(i), "invalid node " << i);
+  if (auto direct = store_->get_copy(BlockKey::data(i))) return direct;
+
+  const RepairPlanner planner(&lattice_);
+  const auto plan = planner.plan_for_target(*store_, i);
+  if (!plan) return std::nullopt;
+  execute_plan(*plan);
+  auto repaired = store_->get_copy(BlockKey::data(i));
+  AEC_CHECK_MSG(repaired.has_value(),
+                "read_node: plan for d" << i << " did not materialize it");
+  return repaired;
+}
+
+}  // namespace aec::pipeline

@@ -1,0 +1,70 @@
+// Wave-parallel repair executor (paper §V, Table VI, Figs 11–13).
+//
+// The RepairPlanner's waves are the repair-side analogue of the write
+// planner's full-write waves: wave w contains exactly the blocks whose
+// planned inputs are intact or repaired in waves < w, so the steps of a
+// wave are mutually independent single XORs. This executor dispatches
+// each wave across a ThreadPool with a barrier between waves — the same
+// shape as ParallelEncoder's kWaves schedule — and is byte-identical to
+// the serial Decoder::repair_all, including the RepairReport round
+// structure (both are projections of the same plan).
+//
+// Safety discipline (no locking on the hot path beyond the store's own):
+//   · every step's inputs were chosen by the planner against wave-start
+//     availability, so a worker never reads a block another wave-w worker
+//     is writing;
+//   · workers read through BlockStore::get_copy() and write through
+//     put(), both of which thread-safe stores (ConcurrentBlockStore,
+//     LockedBlockStore) synchronize internally. With more than one
+//     worker the store must be one of those; a single-threaded repairer
+//     works on any store.
+//
+// Error model: an exception in any step (e.g. a store write failure) is
+// rethrown on the coordinator at the wave barrier; already-repaired
+// blocks remain in the store and the pass aborts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "core/codec/repair_planner.h"
+#include "pipeline/thread_pool.h"
+
+namespace aec::pipeline {
+
+class ParallelRepairer {
+ public:
+  /// Views the first n_nodes positions of an open lattice stored in
+  /// `store` (must outlive the repairer, and must be thread-safe when
+  /// `threads` > 1). Spawns `threads` ≥ 1 workers.
+  ParallelRepairer(CodeParams params, std::uint64_t n_nodes,
+                   std::size_t block_size, BlockStore* store,
+                   std::size_t threads);
+
+  /// Plans with the shared RepairPlanner, then executes each wave across
+  /// the worker pool. Same repaired bytes, same round counts and same
+  /// residue as the serial Decoder::repair_all.
+  RepairReport repair_all(std::uint32_t max_rounds = 0 /* unlimited */);
+
+  /// Parallel counterpart of Decoder::read_node: radius-scoped plan for
+  /// the target, waves executed across the pool. Returns nullopt when
+  /// the block is irrecoverable.
+  std::optional<Bytes> read_node(NodeIndex i);
+
+  const Lattice& lattice() const noexcept { return lattice_; }
+  std::size_t block_size() const noexcept { return block_size_; }
+  std::size_t thread_count() const noexcept { return pool_.thread_count(); }
+
+ private:
+  /// Dispatches one wave in contiguous chunks and waits at the barrier.
+  void execute_wave(const std::vector<RepairStep>& wave);
+  void execute_plan(const RepairPlan& plan);
+
+  Lattice lattice_;  // owns the CodeParams copy (lattice_.params())
+  std::size_t block_size_;
+  BlockStore* store_;
+  ThreadPool pool_;
+};
+
+}  // namespace aec::pipeline

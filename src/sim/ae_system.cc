@@ -1,8 +1,7 @@
 #include "sim/ae_system.h"
 
-#include <array>
-
 #include "common/check.h"
+#include "core/codec/repair_planner.h"
 #include "sim/placement.h"
 
 namespace aec::sim {
@@ -45,112 +44,45 @@ DisasterResult AeScheme::run_disaster(std::uint64_t n_data,
   const std::vector<std::uint8_t> failed =
       draw_failed_locations(config.n_locations, config.failed_fraction, rng);
 
-  // Availability flags, 1-based by node index; parities per class.
-  std::vector<std::uint8_t> data_ok(n + 1, 1);
-  std::array<std::vector<std::uint8_t>, 3> parity_ok;
-  for (std::uint32_t c = 0; c < alpha; ++c)
-    parity_ok[c].assign(n + 1, 1);
-
-  std::vector<NodeIndex> missing_nodes;
-  struct MissingEdge {
-    std::uint8_t cls;
-    NodeIndex tail;
-  };
-  std::vector<MissingEdge> missing_edges;
-
+  AvailabilityMap avail(params_, n);
+  const auto& classes = params_.classes();
   for (std::uint64_t b = 0; b < n; ++b) {
     if (failed[data_loc[b]]) {
-      data_ok[b + 1] = 0;
-      missing_nodes.push_back(static_cast<NodeIndex>(b + 1));
+      avail.set(BlockKey::data(static_cast<NodeIndex>(b + 1)), false);
+      ++result.data_unavailable;
     }
   }
   for (std::uint32_t c = 0; c < alpha; ++c) {
     for (std::uint64_t b = 0; b < n; ++b) {
-      if (failed[parity_loc[c * n + b]]) {
-        parity_ok[c][b + 1] = 0;
-        missing_edges.push_back(
-            MissingEdge{static_cast<std::uint8_t>(c),
-                        static_cast<NodeIndex>(b + 1)});
-      }
+      if (failed[parity_loc[c * n + b]])
+        avail.set(BlockKey::parity(
+                      Edge{classes[c], static_cast<NodeIndex>(b + 1)}),
+                  false);
     }
   }
-  result.data_unavailable = missing_nodes.size();
 
-  const auto& classes = params_.classes();
-  const auto input_tail = [&](NodeIndex i, std::uint8_t c) {
-    return lat.wrap(lat.input_index_raw(i, classes[c]));
-  };
-  const auto output_head = [&](NodeIndex i, std::uint8_t c) {
-    return lat.wrap(lat.output_index_raw(i, classes[c]));
-  };
-
-  const auto node_repairable = [&](NodeIndex i) {
-    for (std::uint8_t c = 0; c < alpha; ++c) {
-      if (parity_ok[c][static_cast<std::uint64_t>(input_tail(i, c))] &&
-          parity_ok[c][static_cast<std::uint64_t>(i)])
-        return true;
-    }
-    return false;
-  };
-  const auto edge_repairable = [&](const MissingEdge& e) {
-    // Option A: tail data + predecessor parity on the same strand.
-    if (data_ok[static_cast<std::uint64_t>(e.tail)] &&
-        parity_ok[e.cls]
-                 [static_cast<std::uint64_t>(input_tail(e.tail, e.cls))])
-      return true;
-    // Option B: head data + successor parity.
-    const NodeIndex j = output_head(e.tail, e.cls);
-    return data_ok[static_cast<std::uint64_t>(j)] &&
-           parity_ok[e.cls][static_cast<std::uint64_t>(j)] != 0;
-  };
-  const auto edge_wanted_minimal = [&](const MissingEdge& e) {
-    // Minimal maintenance regenerates a parity only while it is part of
-    // the dependency chain of a data repair: adjacent to a missing node.
-    const NodeIndex j = output_head(e.tail, e.cls);
-    return !data_ok[static_cast<std::uint64_t>(e.tail)] ||
-           !data_ok[static_cast<std::uint64_t>(j)];
-  };
-
-  // --- synchronous repair rounds ------------------------------------------
-  std::vector<NodeIndex> nodes_now;
-  std::vector<MissingEdge> edges_now;
-  while (true) {
-    nodes_now.clear();
-    edges_now.clear();
-    std::vector<NodeIndex> nodes_later;
-    std::vector<MissingEdge> edges_later;
-    nodes_later.reserve(missing_nodes.size());
-    edges_later.reserve(missing_edges.size());
-
-    for (NodeIndex i : missing_nodes)
-      (node_repairable(i) ? nodes_now : nodes_later).push_back(i);
-    for (const MissingEdge& e : missing_edges) {
-      const bool repair =
-          edge_repairable(e) &&
-          (config.maintenance == MaintenanceMode::kFull ||
-           edge_wanted_minimal(e));
-      (repair ? edges_now : edges_later).push_back(e);
-    }
-    if (nodes_now.empty() && edges_now.empty()) break;
-
-    for (NodeIndex i : nodes_now) data_ok[static_cast<std::uint64_t>(i)] = 1;
-    for (const MissingEdge& e : edges_now)
-      parity_ok[e.cls][static_cast<std::uint64_t>(e.tail)] = 1;
-
-    ++result.repair_rounds;
-    if (result.repair_rounds == 1)
-      result.single_failure_repairs = nodes_now.size();
-    result.data_repaired += nodes_now.size();
-    result.parity_repaired += edges_now.size();
-    missing_nodes = std::move(nodes_later);
-    missing_edges = std::move(edges_later);
+  // --- synchronous repair rounds: the shared planner's waves --------------
+  // The plan *is* the repair for a table-driven simulation — no payloads
+  // to execute, only the round accounting.
+  const RepairPlanner planner(&lat);
+  const RepairPlan plan =
+      planner.plan(avail, config.maintenance == MaintenanceMode::kFull
+                              ? RepairPolicy::kFull
+                              : RepairPolicy::kMinimal);
+  result.repair_rounds = plan.rounds();
+  result.data_repaired = plan.nodes_planned;
+  result.parity_repaired = plan.edges_planned;
+  if (!plan.waves.empty()) {
+    for (const RepairStep& step : plan.waves.front())
+      if (step.key.is_data()) ++result.single_failure_repairs;
   }
   result.data_lost = result.data_unavailable - result.data_repaired;
 
   // --- vulnerability census (Fig 12) ---------------------------------------
+  // `avail` is at the plan's fixpoint here.
   for (NodeIndex i = 1; i <= static_cast<NodeIndex>(n); ++i) {
-    if (!data_ok[static_cast<std::uint64_t>(i)]) continue;
-    if (!node_repairable(i)) ++result.vulnerable_data;
+    if (!avail.data_ok(i)) continue;
+    if (!planner.node_repairable(i, avail)) ++result.vulnerable_data;
   }
   return result;
 }

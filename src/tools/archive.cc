@@ -183,14 +183,19 @@ std::optional<Bytes> Archive::read_file(const std::string& name) {
     if (candidate.name == name) entry = &candidate;
   if (entry == nullptr) return std::nullopt;
 
-  Decoder decoder(params_, blocks(), block_size_, store_.get());
+  // Serial decoder per read, or the archive's cached wave-parallel
+  // repairer over the lock-wrapped store when it has workers.
+  std::optional<Decoder> decoder;
+  if (threads_ == 1)
+    decoder.emplace(params_, blocks(), block_size_, store_.get());
   Bytes content;
   content.reserve(entry->bytes);
   const std::uint64_t count =
       std::max<std::uint64_t>(1, entry->block_count(block_size_));
   for (std::uint64_t b = 0; b < count; ++b) {
+    const NodeIndex node = entry->first_block + static_cast<NodeIndex>(b);
     const auto block =
-        decoder.read_node(entry->first_block + static_cast<NodeIndex>(b));
+        decoder ? decoder->read_node(node) : repairer().read_node(node);
     if (!block) return std::nullopt;  // irrecoverable
     const std::size_t want = static_cast<std::size_t>(
         std::min<std::uint64_t>(block_size_, entry->bytes - content.size()));
@@ -200,11 +205,24 @@ std::optional<Bytes> Archive::read_file(const std::string& name) {
   return content;
 }
 
+pipeline::ParallelRepairer& Archive::repairer() {
+  AEC_CHECK_MSG(threads_ > 1 && blocks() > 0,
+                "repairer(): parallel archive with data expected");
+  if (!repairer_ || repairer_->lattice().n_nodes() != blocks())
+    repairer_ = std::make_unique<pipeline::ParallelRepairer>(
+        params_, blocks(), block_size_, locked_store_.get(), threads_);
+  return *repairer_;
+}
+
 ScrubReport Archive::scrub() {
   ScrubReport report;
   if (blocks() == 0) return report;
-  Decoder decoder(params_, blocks(), block_size_, store_.get());
-  report.repair = decoder.repair_all();
+  if (threads_ > 1) {
+    report.repair = repairer().repair_all();
+  } else {
+    Decoder decoder(params_, blocks(), block_size_, store_.get());
+    report.repair = decoder.repair_all();
+  }
   const Lattice lattice(params_, blocks(), Lattice::Boundary::kOpen);
   const TamperScanResult scan =
       scan_for_tampering(*store_, lattice, block_size_);

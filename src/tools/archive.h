@@ -28,6 +28,7 @@
 #include "core/codec/tamper.h"
 #include "pipeline/concurrent_block_store.h"
 #include "pipeline/parallel_encoder.h"
+#include "pipeline/parallel_repairer.h"
 
 namespace aec::tools {
 
@@ -74,11 +75,13 @@ class Archive {
   /// Appends a file; returns its entry. Name must be unique.
   const FileEntry& add_file(const std::string& name, BytesView content);
 
-  /// Reads a file back (repairing blocks as needed); nullopt if the name
-  /// is unknown or content is irrecoverable.
+  /// Reads a file back (repairing blocks as needed — wave-parallel when
+  /// the archive was opened with threads > 1); nullopt if the name is
+  /// unknown or content is irrecoverable.
   std::optional<Bytes> read_file(const std::string& name);
 
-  /// Global repair + integrity scan.
+  /// Global repair + integrity scan. With threads > 1 the repair waves
+  /// run across a worker pool (byte-identical to the serial repair).
   ScrubReport scrub();
 
   /// Missing blocks right now (damage visible to the index).
@@ -95,6 +98,10 @@ class Archive {
 
   void save_manifest() const;
 
+  /// The archive's wave-parallel repair engine (threads_ > 1 only),
+  /// created lazily and rebuilt when the lattice has grown since.
+  pipeline::ParallelRepairer& repairer();
+
   std::filesystem::path root_;
   CodeParams params_;
   std::size_t block_size_;
@@ -107,6 +114,7 @@ class Archive {
   std::unique_ptr<pipeline::LockedBlockStore> locked_store_;
   std::unique_ptr<Encoder> encoder_;
   std::unique_ptr<pipeline::ParallelEncoder> parallel_encoder_;
+  std::unique_ptr<pipeline::ParallelRepairer> repairer_;
 };
 
 }  // namespace aec::tools
