@@ -1,0 +1,166 @@
+// Archive ingest: streamed (FileWriter windows) vs buffered (add_file
+// with the whole payload in memory), at 1 and 4 engine threads.
+//
+// The streamed path holds at most one ingest window of blocks plus the
+// codec's strand heads, regardless of file size; the buffered path
+// materializes the full payload first. Reports MB/s and the process
+// peak RSS sampled right after ingest, before the verification
+// read-back materializes the file (ru_maxrss is a high-water mark — it
+// only ever grows, so the *first* phase bounds its own footprint and
+// later phases show their increment). Before reporting, every ingested
+// file is read back and compared chunk-by-chunk against the
+// deterministic source stream (a fast wrong ingest is worthless).
+//
+//   bench_archive_ingest [file_mib] [block_size]   (default 96 4096)
+//
+// NOTE: this container is single-core; thread counts > 1 cannot beat
+// serial here. Run on multicore hardware for real scaling.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/rng.h"
+#include "tools/archive.h"
+
+namespace {
+
+using namespace aec;
+using namespace aec::tools;
+using Clock = std::chrono::steady_clock;
+
+namespace fs = std::filesystem;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double peak_rss_mib() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB → MiB
+}
+
+/// Deterministic source stream, re-derivable chunk by chunk so neither
+/// ingest nor verification ever needs the whole file in memory.
+class SourceStream {
+ public:
+  explicit SourceStream(std::uint64_t seed) : rng_(seed) {}
+  Bytes next(std::size_t bytes) { return rng_.random_block(bytes); }
+
+ private:
+  Rng rng_;
+};
+
+constexpr std::size_t kChunkBytes = 1 << 20;  // 1 MiB feed granularity
+
+bool verify_file(Archive& archive, const std::string& name,
+                 std::uint64_t seed, std::uint64_t total_bytes) {
+  const auto content = archive.read_file(name);
+  if (!content || content->size() != total_bytes) return false;
+  SourceStream source(seed);
+  std::uint64_t offset = 0;
+  while (offset < total_bytes) {
+    const std::size_t len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kChunkBytes, total_bytes - offset));
+    const Bytes expected = source.next(len);
+    if (!std::equal(expected.begin(), expected.end(),
+                    content->begin() + static_cast<std::ptrdiff_t>(offset)))
+      return false;
+    offset += len;
+  }
+  return true;
+}
+
+struct Phase {
+  const char* label;
+  bool streamed;
+  std::size_t threads;
+};
+
+int run(std::uint64_t file_mib, std::size_t block_size) {
+  const std::uint64_t total_bytes = file_mib << 20;
+  const double mb = static_cast<double>(total_bytes) / (1024.0 * 1024.0);
+  const fs::path base =
+      fs::temp_directory_path() /
+      ("aec_bench_ingest_" + std::to_string(::getpid()));
+  fs::remove_all(base);
+
+  std::printf("archive ingest — %llu MiB file, %zu B blocks, AE(3,2,5)\n",
+              static_cast<unsigned long long>(file_mib), block_size);
+  std::printf("%-26s %10s %12s %14s\n", "phase", "MB/s", "wall s",
+              "peak RSS MiB");
+
+  const Phase phases[] = {
+      {"streamed t=1", true, 1},
+      {"streamed t=4", true, 4},
+      {"buffered t=1", false, 1},
+      {"buffered t=4", false, 4},
+  };
+  bool all_ok = true;
+  int phase_index = 0;
+  for (const Phase& phase : phases) {
+    const std::uint64_t seed = 77;
+    const fs::path root = base / ("phase_" + std::to_string(phase_index++));
+    auto archive = Archive::create(root, "AE(3,2,5)", block_size,
+                                   Engine::with_threads(phase.threads));
+    const auto start = Clock::now();
+    if (phase.streamed) {
+      SourceStream source(seed);
+      FileWriter writer = archive->begin_file("doc");
+      std::uint64_t offset = 0;
+      while (offset < total_bytes) {
+        const std::size_t len = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kChunkBytes, total_bytes - offset));
+        writer.write(source.next(len));
+        offset += len;
+      }
+      writer.close();
+    } else {
+      SourceStream source(seed);
+      Bytes content;
+      content.reserve(total_bytes);
+      std::uint64_t offset = 0;
+      while (offset < total_bytes) {
+        const std::size_t len = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kChunkBytes, total_bytes - offset));
+        const Bytes chunk = source.next(len);
+        content.insert(content.end(), chunk.begin(), chunk.end());
+        offset += len;
+      }
+      archive->add_file("doc", content);
+    }
+    const double wall = seconds_since(start);
+    // Sample before verification: read_file materializes the whole
+    // payload and would otherwise dominate the streamed phases' RSS.
+    const double rss_after_ingest = peak_rss_mib();
+
+    const bool ok = verify_file(*archive, "doc", seed, total_bytes);
+    all_ok = all_ok && ok;
+    std::printf("%-26s %10.1f %12.2f %14.1f%s\n", phase.label, mb / wall,
+                wall, rss_after_ingest, ok ? "" : "  [BYTE MISMATCH]");
+    archive.reset();
+    fs::remove_all(root);  // keep the disk footprint at one phase
+  }
+  fs::remove_all(base);
+
+  if (!all_ok) {
+    std::printf("\nFAILED: read-back did not match the source stream\n");
+    return 1;
+  }
+  std::printf("\nself-check OK: all phases byte-identical to the source\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t file_mib =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 96;
+  const std::size_t block_size =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4096;
+  return run(file_mib, block_size);
+}

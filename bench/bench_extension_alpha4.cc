@@ -28,9 +28,13 @@ int main() {
     for (std::uint32_t k = 1; k < alpha; ++k) pitches.push_back(1u << k);
     const MultiPitchLattice lattice(pitches);
 
-    std::string label = "AE*(" + std::to_string(alpha) + "; 1";
-    for (std::uint32_t k = 1; k < alpha; ++k)
-      label += "," + std::to_string(pitches[k]);
+    std::string label = "AE*(";
+    label += std::to_string(alpha);
+    label += "; 1";
+    for (std::uint32_t k = 1; k < alpha; ++k) {
+      label += ',';
+      label += std::to_string(pitches[k]);
+    }
     label += ")";
     std::printf("%-22s %7.0f%% %8llu |", label.c_str(),
                 lattice.storage_overhead_percent(),

@@ -1,0 +1,212 @@
+// Unified erasure-codec interface (the paper's §VI head-to-head framing
+// made executable: AE, Reed-Solomon and replication behind one API).
+//
+// A Codec works on *groups* of equally-sized blocks. A group holds n
+// data parts followed by parity_parts(n) parity parts; parts are
+// addressed by a flat PartIndex (data first, parities after). Striped
+// codecs (RS, REP) fix the group width — group_data_parts() > 0 — and a
+// long block sequence is encoded stripe by stripe. Streaming codecs
+// (AE) report group_data_parts() == 0: the group is whatever window
+// encode() is handed, and in an archive it is the whole growing
+// lattice.
+//
+// Parity ordering:
+//   AE      — lattice order: node i contributes its α output parities in
+//             strand-class order, so parity part (i-1)·α + c is
+//             p_{i,·} on classes()[c].
+//   RS(k,m) — the m Cauchy parity rows in row order.
+//   REP(n)  — the n−1 extra copies.
+//
+// Codecs are looked up by spec string through the CodecRegistry
+// ("AE(3,2,5)", "RS(10,4)", "REP(3)"); id() round-trips through
+// make_codec().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/lattice/code_params.h"
+#include "replication/replication.h"
+#include "rs/reed_solomon.h"
+
+namespace aec {
+
+/// Flat index of a block within a codec group: data parts 0..n-1, parity
+/// parts n..n+parity_parts(n)-1.
+using PartIndex = std::uint32_t;
+
+/// Sorted, duplicate-free set of part indices.
+using PartIndexList = std::vector<PartIndex>;
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Spec string, re-parseable by make_codec(): "AE(3,2,5)", "RS(10,4)",
+  /// "REP(3)".
+  virtual std::string id() const = 0;
+
+  /// Data parts per group; 0 for streaming codecs whose group is the
+  /// whole window handed to encode().
+  virtual std::uint32_t group_data_parts() const = 0;
+
+  /// Parity parts produced for a group of n_data data blocks.
+  virtual std::uint32_t parity_parts(std::uint32_t n_data) const = 0;
+
+  /// Additional storage as % of the source (paper Table IV "AS").
+  virtual double storage_overhead_percent() const = 0;
+
+  /// Blocks read to repair one single failure (paper Table IV "SF").
+  virtual std::uint32_t single_failure_fanin() const = 0;
+
+  /// Encodes one group: the parity blocks for `data`, in part order.
+  /// Striped codecs require data.size() == group_data_parts(); streaming
+  /// codecs accept any non-empty window. All blocks must share one size.
+  virtual std::vector<Bytes> encode(const std::vector<Bytes>& data) const = 0;
+
+  /// True iff a group of n_data data blocks with the `erased` parts
+  /// missing can be fully reconstructed. `erased` must be sorted and
+  /// duplicate-free.
+  virtual bool can_repair(std::uint32_t n_data,
+                          const PartIndexList& erased) const = 0;
+
+  /// The surviving parts a repair of `erased` reads (sorted), or nullopt
+  /// when the group is irreparable. Not every surviving part is needed.
+  virtual std::optional<PartIndexList> repair_indices(
+      std::uint32_t n_data, const PartIndexList& erased) const = 0;
+
+  /// Reconstructs the erased parts of one group. `parts` holds the whole
+  /// group (present payload or nullopt per part; its size fixes n_data).
+  /// Returns the rebuilt payloads in `erased` order, or nullopt when the
+  /// erasure pattern is irreparable.
+  virtual std::optional<std::vector<Bytes>> repair(
+      const std::vector<std::optional<Bytes>>& parts,
+      const PartIndexList& erased) const = 0;
+
+  /// n_data + parity_parts(n_data).
+  std::uint32_t group_total_parts(std::uint32_t n_data) const {
+    return n_data + parity_parts(n_data);
+  }
+};
+
+/// Alpha entanglement — streaming lattice codec (group = whole window).
+class AeCodec final : public Codec {
+ public:
+  explicit AeCodec(CodeParams params);
+
+  const CodeParams& params() const noexcept { return params_; }
+
+  std::string id() const override;
+  std::uint32_t group_data_parts() const override { return 0; }
+  std::uint32_t parity_parts(std::uint32_t n_data) const override;
+  double storage_overhead_percent() const override;
+  std::uint32_t single_failure_fanin() const override { return 2; }
+  std::vector<Bytes> encode(const std::vector<Bytes>& data) const override;
+  bool can_repair(std::uint32_t n_data,
+                  const PartIndexList& erased) const override;
+  std::optional<PartIndexList> repair_indices(
+      std::uint32_t n_data, const PartIndexList& erased) const override;
+  std::optional<std::vector<Bytes>> repair(
+      const std::vector<std::optional<Bytes>>& parts,
+      const PartIndexList& erased) const override;
+
+ private:
+  CodeParams params_;
+};
+
+/// Systematic Reed-Solomon stripes (wraps rs::ReedSolomon).
+class RsCodec final : public Codec {
+ public:
+  RsCodec(std::uint32_t k, std::uint32_t m);
+
+  const rs::ReedSolomon& rs() const noexcept { return rs_; }
+
+  std::string id() const override;
+  std::uint32_t group_data_parts() const override { return rs_.k(); }
+  std::uint32_t parity_parts(std::uint32_t n_data) const override;
+  double storage_overhead_percent() const override;
+  std::uint32_t single_failure_fanin() const override { return rs_.k(); }
+  std::vector<Bytes> encode(const std::vector<Bytes>& data) const override;
+  bool can_repair(std::uint32_t n_data,
+                  const PartIndexList& erased) const override;
+  std::optional<PartIndexList> repair_indices(
+      std::uint32_t n_data, const PartIndexList& erased) const override;
+  std::optional<std::vector<Bytes>> repair(
+      const std::vector<std::optional<Bytes>>& parts,
+      const PartIndexList& erased) const override;
+
+ private:
+  rs::ReedSolomon rs_;
+};
+
+/// n-way replication: one data part, n−1 copy parts.
+class ReplicationCodec final : public Codec {
+ public:
+  explicit ReplicationCodec(std::uint32_t copies);
+
+  std::uint32_t copies() const noexcept { return rep_.copies(); }
+
+  std::string id() const override;
+  std::uint32_t group_data_parts() const override { return 1; }
+  std::uint32_t parity_parts(std::uint32_t n_data) const override;
+  double storage_overhead_percent() const override;
+  std::uint32_t single_failure_fanin() const override { return 1; }
+  std::vector<Bytes> encode(const std::vector<Bytes>& data) const override;
+  bool can_repair(std::uint32_t n_data,
+                  const PartIndexList& erased) const override;
+  std::optional<PartIndexList> repair_indices(
+      std::uint32_t n_data, const PartIndexList& erased) const override;
+  std::optional<std::vector<Bytes>> repair(
+      const std::vector<std::optional<Bytes>>& parts,
+      const PartIndexList& erased) const override;
+
+ private:
+  replication::Replication rep_;
+};
+
+/// Parsed "FAMILY(arg,arg,…)" spec. A literal "-" argument (AE(1,-,-))
+/// parses as kWildcardArg.
+struct CodecSpec {
+  static constexpr std::uint32_t kWildcardArg = 0xFFFFFFFFu;
+  std::string family;
+  std::vector<std::uint32_t> args;
+};
+
+/// Splits a spec string; throws CheckError on syntax errors (missing
+/// parentheses, empty/non-numeric arguments, trailing junk).
+CodecSpec parse_codec_spec(const std::string& spec);
+
+/// String-keyed codec factory. The three built-in families (AE, RS, REP)
+/// are registered at startup; register_family() adds or replaces one.
+class CodecRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Codec>(const CodecSpec& spec)>;
+
+  /// The process-wide registry.
+  static CodecRegistry& instance();
+
+  void register_family(const std::string& family, Factory factory);
+  bool has_family(const std::string& family) const;
+  std::vector<std::string> families() const;
+
+  /// Parses `spec` and builds the codec; throws CheckError on unknown
+  /// families or invalid parameters.
+  std::unique_ptr<Codec> make(const std::string& spec) const;
+
+ private:
+  CodecRegistry();
+
+  std::map<std::string, Factory> factories_;
+};
+
+/// Shorthand for CodecRegistry::instance().make(spec).
+std::unique_ptr<Codec> make_codec(const std::string& spec);
+
+}  // namespace aec

@@ -1,0 +1,53 @@
+#include "api/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aec {
+
+Engine::Engine(EngineConfig config)
+    : config_(config),
+      pool_(std::max<std::size_t>(1, config.threads),
+            std::max<std::size_t>(1, config.queue_capacity)) {}
+
+std::shared_ptr<Engine> Engine::serial() {
+  return std::make_shared<Engine>(EngineConfig{});
+}
+
+std::shared_ptr<Engine> Engine::with_threads(std::size_t threads) {
+  EngineConfig config;
+  config.threads = threads;
+  return std::make_shared<Engine>(config);
+}
+
+std::size_t Engine::ingest_window_blocks() const noexcept {
+  if (config_.ingest_window_blocks > 0) return config_.ingest_window_blocks;
+  return 256 * threads();
+}
+
+std::unique_ptr<CodecSession> Engine::open_session(
+    std::shared_ptr<const Codec> codec, BlockStore* store,
+    std::size_t block_size, std::uint64_t resume_blocks) {
+  AEC_CHECK_MSG(codec != nullptr, "open_session: null codec");
+  std::unique_ptr<CodecSession> session;
+  if (codec->group_data_parts() == 0) {
+    // Streaming family — today that is exactly the AE lattice.
+    auto ae = std::dynamic_pointer_cast<const AeCodec>(codec);
+    AEC_CHECK_MSG(ae != nullptr, "streaming codec " << codec->id()
+                                                    << " has no session type");
+    session = std::make_unique<AeSession>(std::move(ae), store, block_size,
+                                          resume_blocks, &pool_,
+                                          config_.encode_schedule);
+  } else {
+    session = std::make_unique<StripedSession>(std::move(codec), store,
+                                               block_size, resume_blocks,
+                                               &pool_);
+  }
+  // Shared-owned engines stay alive as long as their sessions (the
+  // session runs on this engine's pool); null for stack-owned engines.
+  session->engine_keepalive_ = weak_from_this().lock();
+  return session;
+}
+
+}  // namespace aec

@@ -1,0 +1,385 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+#include "core/codec/tamper.h"
+#include "core/lattice/lattice.h"
+
+namespace aec {
+
+namespace {
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+// --- AeSession --------------------------------------------------------------
+
+AeSession::AeSession(std::shared_ptr<const AeCodec> codec, BlockStore* store,
+                     std::size_t block_size, std::uint64_t resume_blocks,
+                     pipeline::ThreadPool* pool, pipeline::Schedule schedule)
+    : codec_(std::move(codec)),
+      store_(store),
+      block_size_(block_size),
+      pool_(pool),
+      encoder_(codec_->params(), block_size, store, pool, resume_blocks,
+               schedule) {}
+
+void AeSession::append(const std::vector<Bytes>& blocks) {
+  encoder_.append_all(blocks);
+}
+
+pipeline::ParallelRepairer& AeSession::repairer() {
+  AEC_CHECK_MSG(size() > 0, "repairer(): empty session");
+  if (!repairer_ || repairer_->lattice().n_nodes() != size())
+    repairer_ = std::make_unique<pipeline::ParallelRepairer>(
+        codec_->params(), size(), block_size_, store_, pool_);
+  return *repairer_;
+}
+
+std::optional<Bytes> AeSession::read_block(NodeIndex i) {
+  AEC_CHECK_MSG(i >= 1 && static_cast<std::uint64_t>(i) <= size(),
+                "read_block: index " << i << " outside [1, " << size()
+                                     << "]");
+  return repairer().read_node(i);
+}
+
+RepairReport AeSession::repair_all() {
+  if (size() == 0) return {};
+  return repairer().repair_all();
+}
+
+void AeSession::for_each_expected_key(
+    const std::function<void(const BlockKey&)>& fn) const {
+  if (size() == 0) return;
+  const CodeParams& params = codec_->params();
+  const Lattice lattice(params, size(), Lattice::Boundary::kOpen);
+  for (NodeIndex i = 1; i <= static_cast<NodeIndex>(size()); ++i) {
+    fn(BlockKey::data(i));
+    for (StrandClass cls : params.classes())
+      fn(BlockKey::parity(lattice.output_edge(i, cls)));
+  }
+}
+
+IntegrityReport AeSession::verify_integrity() const {
+  IntegrityReport report;
+  if (size() == 0) return report;
+  const Lattice lattice(codec_->params(), size(), Lattice::Boundary::kOpen);
+  const TamperScanResult scan =
+      scan_for_tampering(*store_, lattice, block_size_);
+  report.inconsistent_parities = scan.inconsistent_parities.size();
+  report.suspect_nodes = scan.suspect_nodes;
+  return report;
+}
+
+// --- StripedSession ---------------------------------------------------------
+
+StripedSession::StripedSession(std::shared_ptr<const Codec> codec,
+                               BlockStore* store, std::size_t block_size,
+                               std::uint64_t resume_blocks,
+                               pipeline::ThreadPool* pool)
+    : codec_(std::move(codec)),
+      store_(store),
+      block_size_(block_size),
+      pool_(pool),
+      k_(codec_->group_data_parts()),
+      m_(codec_->parity_parts(codec_->group_data_parts())),
+      count_(resume_blocks) {
+  AEC_CHECK_MSG(k_ > 0, "StripedSession needs a striped codec, got "
+                            << codec_->id());
+  AEC_CHECK_MSG(block_size_ > 0, "block size must be positive");
+  AEC_CHECK_MSG(store_ != nullptr, "session needs a block store");
+  AEC_CHECK_MSG(pool_ != nullptr, "session needs a worker pool");
+  if (resume_blocks > 0 && count_ % k_ != 0) heal_tail_stripe();
+}
+
+void StripedSession::heal_tail_stripe() {
+  const std::uint64_t stripe = count_ / k_;
+  const std::uint64_t first = stripe * k_;
+  const auto committed = static_cast<std::uint32_t>(count_ - first);
+
+  // Orphan payloads at the uncommitted tail positions mean an append
+  // was interrupted after its data puts: the stored parities may bind
+  // the orphans, committed data + zeros, or (crash mid-encode) a mix.
+  std::vector<std::optional<Bytes>> orphans(k_ - committed);
+  bool any_orphan = false;
+  for (std::uint32_t r = committed; r < k_; ++r) {
+    orphans[r - committed] =
+        store_->get_copy(BlockKey::data(static_cast<NodeIndex>(first + r) + 1));
+    any_orphan = any_orphan || orphans[r - committed].has_value();
+  }
+  if (!any_orphan) return;  // clean shutdown: parities bind committed+zeros
+
+  PartIndexList missing;
+  for (std::uint32_t r = 0; r < committed; ++r)
+    if (!store_->contains(
+            BlockKey::data(static_cast<NodeIndex>(first + r) + 1)))
+      missing.push_back(r);
+
+  // Recover missing committed members before the re-encode erases the
+  // only redundancy that describes them. The stripe content the
+  // parities bind is ambiguous, so a hypothesis (orphans first — the
+  // likelier post-crash state — then zeros) is accepted only when the
+  // rebuilt stripe re-encodes to every surviving parity; that needs at
+  // least one parity beyond the erasure count, so e == m stays
+  // unrecovered rather than risking fabricated bytes.
+  if (!missing.empty()) {
+    for (const bool use_orphans : {true, false}) {
+      std::vector<std::optional<Bytes>> parts(k_ + m_);
+      PartIndexList erased = missing;
+      for (std::uint32_t r = 0; r < committed; ++r)
+        parts[r] = store_->get_copy(
+            BlockKey::data(static_cast<NodeIndex>(first + r) + 1));
+      for (std::uint32_t r = committed; r < k_; ++r) {
+        if (use_orphans && orphans[r - committed]) {
+          parts[r] = orphans[r - committed];
+        } else if (use_orphans) {
+          erased.push_back(r);  // interrupted before this orphan's put
+        } else {
+          parts[r] = Bytes(block_size_, 0);
+        }
+      }
+      std::vector<std::uint32_t> surviving_parities;
+      for (std::uint32_t j = 0; j < m_; ++j) {
+        parts[k_ + j] = store_->get_copy(parity_key(stripe, j));
+        if (parts[k_ + j])
+          surviving_parities.push_back(j);
+        else
+          erased.push_back(k_ + j);
+      }
+      std::sort(erased.begin(), erased.end());
+      const std::uint32_t data_erasures = static_cast<std::uint32_t>(
+          std::count_if(erased.begin(), erased.end(),
+                        [&](PartIndex p) { return p < k_; }));
+      if (surviving_parities.size() <= data_erasures) continue;  // unverifiable
+      if (!codec_->can_repair(k_, erased)) continue;
+      const auto rebuilt = codec_->repair(parts, erased);
+      if (!rebuilt) continue;
+
+      std::vector<Bytes> data(k_);
+      for (std::uint32_t r = 0; r < k_; ++r)
+        data[r] = parts[r] ? *parts[r] : Bytes();
+      for (std::size_t e = 0; e < erased.size(); ++e)
+        if (erased[e] < k_) data[erased[e]] = (*rebuilt)[e];
+      const std::vector<Bytes> check = codec_->encode(data);
+      bool verified = true;
+      for (const std::uint32_t j : surviving_parities)
+        verified = verified && check[j] == *parts[k_ + j];
+      if (!verified) continue;
+
+      for (const std::uint32_t r : missing)
+        store_->put(BlockKey::data(static_cast<NodeIndex>(first + r) + 1),
+                    data[r]);
+      missing.clear();
+      break;
+    }
+  }
+
+  // Restore the invariant (parities bind committed data + zeros) and
+  // drop the orphans so later opens see a clean stripe.
+  if (missing.empty()) {
+    encode_stripe(stripe);
+    for (std::uint32_t r = committed; r < k_; ++r)
+      store_->erase(BlockKey::data(static_cast<NodeIndex>(first + r) + 1));
+  } else {
+    // Neither hypothesis verified: the stored parities describe an
+    // unknowable mix of pre- and post-crash states, and any decode
+    // against them would fabricate committed bytes. Drop them so the
+    // stripe reports honestly unrecoverable; the orphans stay on disk
+    // for forensics (they are invisible to the committed range).
+    for (std::uint32_t j = 0; j < m_; ++j)
+      store_->erase(parity_key(stripe, j));
+  }
+}
+
+std::vector<std::optional<Bytes>> StripedSession::collect_parts(
+    std::uint64_t stripe, PartIndexList& erased) const {
+  const std::uint64_t first = stripe * k_;  // 0-based data offset
+  const std::uint32_t real =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(k_, count_ - first));
+  std::vector<std::optional<Bytes>> parts(k_ + m_);
+  for (std::uint32_t r = 0; r < k_; ++r) {
+    if (r >= real) {
+      parts[r] = Bytes(block_size_, 0);  // virtual tail block
+      continue;
+    }
+    parts[r] =
+        store_->get_copy(BlockKey::data(static_cast<NodeIndex>(first + r) + 1));
+    if (!parts[r]) erased.push_back(r);
+  }
+  for (std::uint32_t j = 0; j < m_; ++j) {
+    parts[k_ + j] = store_->get_copy(parity_key(stripe, j));
+    if (!parts[k_ + j]) erased.push_back(k_ + j);
+  }
+  return parts;
+}
+
+void StripedSession::encode_stripe(std::uint64_t stripe) {
+  const std::uint64_t first = stripe * k_;
+  std::vector<Bytes> data;
+  data.reserve(k_);
+  for (std::uint32_t r = 0; r < k_; ++r) {
+    const std::uint64_t index = first + r;
+    if (index >= count_) {
+      data.emplace_back(block_size_, 0);  // virtual tail block
+      continue;
+    }
+    auto block =
+        store_->get_copy(BlockKey::data(static_cast<NodeIndex>(index) + 1));
+    AEC_CHECK_MSG(block.has_value(), "encode_stripe: data block "
+                                         << index + 1 << " missing");
+    data.push_back(std::move(*block));
+  }
+  const std::vector<Bytes> parities = codec_->encode(data);
+  for (std::uint32_t j = 0; j < m_; ++j)
+    store_->put(parity_key(stripe, j), parities[j]);
+}
+
+void StripedSession::append(const std::vector<Bytes>& blocks) {
+  for (const Bytes& b : blocks)
+    AEC_CHECK_MSG(b.size() == block_size_,
+                  "append: block size " << b.size() << " != configured "
+                                        << block_size_);
+  if (blocks.empty()) return;
+
+  // A resumed partial tail stripe must be healed while its tail is still
+  // virtual (all-zero): its stored parities bind the old state, so a
+  // missing member is unrecoverable once new payloads overwrite the
+  // zero-padding the parities assumed.
+  const std::uint64_t first_stripe = count_ / k_;
+  if (count_ % k_ != 0) {
+    for (std::uint64_t index = first_stripe * k_; index < count_; ++index) {
+      const auto key = BlockKey::data(static_cast<NodeIndex>(index) + 1);
+      if (store_->contains(key)) continue;
+      AEC_CHECK_MSG(read_block(static_cast<NodeIndex>(index) + 1).has_value(),
+                    "append: tail stripe member d"
+                        << index + 1 << " is irrecoverable; cannot extend");
+    }
+  }
+
+  for (std::size_t j = 0; j < blocks.size(); ++j)
+    store_->put(BlockKey::data(static_cast<NodeIndex>(count_ + j) + 1),
+                blocks[j]);
+  count_ += blocks.size();
+
+  // Stripes are independent: re-encode every touched stripe across the
+  // pool (reads go through get_copy, writes land in disjoint keys).
+  const std::uint64_t last_stripe = (count_ - 1) / k_;
+  for (std::uint64_t g = first_stripe; g <= last_stripe; ++g)
+    pool_->submit([this, g] { encode_stripe(g); });
+  pool_->wait_idle();  // batch barrier (rethrows the first task error)
+}
+
+PartIndexList StripedSession::probe_erased(std::uint64_t stripe) const {
+  const std::uint64_t first = stripe * k_;
+  const std::uint32_t real =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(k_, count_ - first));
+  PartIndexList erased;
+  for (std::uint32_t r = 0; r < real; ++r)
+    if (!store_->contains(
+            BlockKey::data(static_cast<NodeIndex>(first + r) + 1)))
+      erased.push_back(r);
+  for (std::uint32_t j = 0; j < m_; ++j)
+    if (!store_->contains(parity_key(stripe, j))) erased.push_back(k_ + j);
+  return erased;
+}
+
+StripedSession::StripeOutcome StripedSession::repair_stripe(
+    std::uint64_t stripe) {
+  StripeOutcome outcome;
+  // Metadata-only availability probe first: an intact stripe (the
+  // common scrub case) costs index lookups, not k+m payload reads.
+  if (probe_erased(stripe).empty()) return outcome;
+  PartIndexList erased;
+  const std::vector<std::optional<Bytes>> parts =
+      collect_parts(stripe, erased);
+  if (erased.empty()) return outcome;  // raced back to health
+
+  const auto rebuilt = codec_->repair(parts, erased);
+  for (std::size_t e = 0; e < erased.size(); ++e) {
+    const bool is_data = erased[e] < k_;
+    if (!rebuilt) {
+      ++(is_data ? outcome.nodes_unrecovered : outcome.edges_unrecovered);
+      continue;
+    }
+    const BlockKey key =
+        is_data ? BlockKey::data(
+                      static_cast<NodeIndex>(stripe * k_ + erased[e]) + 1)
+                : parity_key(stripe, erased[e] - k_);
+    store_->put(key, (*rebuilt)[e]);
+    ++(is_data ? outcome.nodes_repaired : outcome.edges_repaired);
+  }
+  return outcome;
+}
+
+std::optional<Bytes> StripedSession::read_block(NodeIndex i) {
+  AEC_CHECK_MSG(i >= 1 && static_cast<std::uint64_t>(i) <= count_,
+                "read_block: index " << i << " outside [1, " << count_
+                                     << "]");
+  const BlockKey key = BlockKey::data(i);
+  if (auto direct = store_->get_copy(key)) return direct;
+  repair_stripe(static_cast<std::uint64_t>(i - 1) / k_);
+  return store_->get_copy(key);
+}
+
+RepairReport StripedSession::repair_all() {
+  RepairReport report;
+  if (count_ == 0) return report;
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<StripeOutcome> outcomes(stripes());
+  for (std::uint64_t g = 0; g < outcomes.size(); ++g)
+    pool_->submit([this, &outcomes, g] { outcomes[g] = repair_stripe(g); });
+  pool_->wait_idle();
+
+  for (const StripeOutcome& outcome : outcomes) {
+    report.nodes_repaired_total += outcome.nodes_repaired;
+    report.edges_repaired_total += outcome.edges_repaired;
+    report.nodes_unrecovered += outcome.nodes_unrecovered;
+    report.edges_unrecovered += outcome.edges_unrecovered;
+  }
+  if (report.blocks_repaired_total() > 0) {
+    report.rounds = 1;  // stripes decode in a single round
+    report.nodes_repaired_per_round = {report.nodes_repaired_total};
+    report.edges_repaired_per_round = {report.edges_repaired_total};
+  }
+  report.wall_seconds = seconds_since(start);
+  return report;
+}
+
+void StripedSession::for_each_expected_key(
+    const std::function<void(const BlockKey&)>& fn) const {
+  for (std::uint64_t g = 0; g < stripes(); ++g) {
+    const std::uint64_t first = g * k_;
+    const std::uint32_t real = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(k_, count_ - first));
+    for (std::uint32_t r = 0; r < real; ++r)
+      fn(BlockKey::data(static_cast<NodeIndex>(first + r) + 1));
+    for (std::uint32_t j = 0; j < m_; ++j) fn(parity_key(g, j));
+  }
+}
+
+IntegrityReport StripedSession::verify_integrity() const {
+  IntegrityReport report;
+  for (std::uint64_t g = 0; g < stripes(); ++g) {
+    PartIndexList erased;
+    const std::vector<std::optional<Bytes>> parts = collect_parts(g, erased);
+    if (!erased.empty()) continue;  // incomplete stripes are not verifiable
+    std::vector<Bytes> data;
+    data.reserve(k_);
+    for (std::uint32_t r = 0; r < k_; ++r) data.push_back(*parts[r]);
+    const std::vector<Bytes> parities = codec_->encode(data);
+    for (std::uint32_t j = 0; j < m_; ++j)
+      if (parities[j] != *parts[k_ + j]) ++report.inconsistent_parities;
+  }
+  return report;
+}
+
+}  // namespace aec

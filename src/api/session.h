@@ -1,0 +1,194 @@
+// CodecSession — one growing sequence of fixed-size data blocks kept
+// redundant in a BlockStore through a Codec, executed on an Engine's
+// shared worker pool.
+//
+// This is the dispatch point that unifies the code families behind the
+// archive: the AE session streams blocks into the entanglement lattice
+// (ParallelEncoder + ParallelRepairer over the shared pool — a 1-thread
+// engine reproduces the serial byte stream exactly), while the striped
+// session groups blocks into fixed-width codec stripes (RS, REP) whose
+// parities live in a flat parity index space.
+//
+// Key layout (shared with FileBlockStore's on-disk naming):
+//   data block i        — BlockKey::data(i), i in [1, size()]
+//   AE parity           — BlockKey::parity(output edge), lattice naming
+//   striped parity j of stripe g (0-based)
+//                       — BlockKey{kParity, kHorizontal, g·m + j + 1}
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "api/codec.h"
+#include "common/bytes.h"
+#include "core/codec/block_key.h"
+#include "core/codec/block_store.h"
+#include "core/codec/repair_planner.h"
+#include "pipeline/parallel_encoder.h"
+#include "pipeline/parallel_repairer.h"
+#include "pipeline/thread_pool.h"
+
+namespace aec {
+
+/// Outcome of a session integrity scan: stored redundancy re-derived and
+/// compared against the stored blocks (paper §III-B anti-tampering for
+/// AE; stripe re-encode for RS/REP).
+struct IntegrityReport {
+  /// Parity/copy blocks inconsistent with the present blocks they bind.
+  std::uint64_t inconsistent_parities = 0;
+  /// Data blocks whose every verifiable parity disagrees — the usual
+  /// signature of a tampered block (AE sessions only).
+  std::vector<NodeIndex> suspect_nodes;
+};
+
+class CodecSession {
+ public:
+  virtual ~CodecSession() = default;
+
+  virtual const Codec& codec() const = 0;
+  virtual std::size_t block_size() const = 0;
+
+  /// Data blocks appended so far.
+  virtual std::uint64_t size() const = 0;
+
+  /// Appends data blocks (each exactly block_size bytes): stores them
+  /// and the redundancy the codec derives for them.
+  virtual void append(const std::vector<Bytes>& blocks) = 0;
+
+  /// Returns data block i (1 ≤ i ≤ size()), repairing through the codec
+  /// when blocks are missing; repairs are persisted. nullopt when the
+  /// block is irrecoverable.
+  virtual std::optional<Bytes> read_block(NodeIndex i) = 0;
+
+  /// Repairs everything recoverable; reports the paper's round/residue
+  /// accounting (striped codecs always finish in one round).
+  virtual RepairReport repair_all() = 0;
+
+  /// Visits every key an intact session of the current size stores, in
+  /// a deterministic order (damage injection / census walks). Streaming
+  /// so a census of a huge archive never materializes the key set.
+  virtual void for_each_expected_key(
+      const std::function<void(const BlockKey&)>& fn) const = 0;
+
+  /// Re-derives redundancy from the present blocks and flags mismatches.
+  virtual IntegrityReport verify_integrity() const = 0;
+
+ private:
+  friend class Engine;
+  /// Keeps a shared-owned Engine alive for as long as its session (the
+  /// session runs on the engine's pool). Null for stack-owned engines,
+  /// which must simply outlive the session.
+  std::shared_ptr<const void> engine_keepalive_;
+};
+
+/// Streaming AE lattice session.
+class AeSession final : public CodecSession {
+ public:
+  /// `store` and `pool` must outlive the session; the store must have
+  /// thread-safe put()/get_copy() when the pool has > 1 worker.
+  AeSession(std::shared_ptr<const AeCodec> codec, BlockStore* store,
+            std::size_t block_size, std::uint64_t resume_blocks,
+            pipeline::ThreadPool* pool,
+            pipeline::Schedule schedule = pipeline::Schedule::kStrands);
+
+  const Codec& codec() const override { return *codec_; }
+  std::size_t block_size() const override { return block_size_; }
+  std::uint64_t size() const override { return encoder_.size(); }
+  void append(const std::vector<Bytes>& blocks) override;
+  std::optional<Bytes> read_block(NodeIndex i) override;
+  RepairReport repair_all() override;
+  void for_each_expected_key(
+      const std::function<void(const BlockKey&)>& fn) const override;
+  IntegrityReport verify_integrity() const override;
+
+ private:
+  /// Wave-parallel repair engine, created lazily and rebuilt when the
+  /// lattice has grown since.
+  pipeline::ParallelRepairer& repairer();
+
+  std::shared_ptr<const AeCodec> codec_;
+  BlockStore* store_;
+  std::size_t block_size_;
+  pipeline::ThreadPool* pool_;
+  pipeline::ParallelEncoder encoder_;
+  std::unique_ptr<pipeline::ParallelRepairer> repairer_;
+};
+
+/// Fixed-width stripe session for striped codecs (RS, REP). The tail
+/// stripe may be partial; its virtual tail blocks are all-zero and its
+/// parities are recomputed whenever appends extend it.
+///
+/// Crash safety: an interrupted append (or an abandoned FileWriter) can
+/// leave orphan data blocks beyond the committed count with tail-stripe
+/// parities re-encoded against them. Resuming heals that stripe
+/// deterministically — missing committed members are recovered under
+/// whichever stripe content (orphans vs. virtual zeros) the surviving
+/// redundancy actually verifies, the parities are re-encoded to bind
+/// committed data + zeros, and the orphans are dropped — so repairs
+/// after a crash never reconstruct from a state the parities don't
+/// describe.
+class StripedSession final : public CodecSession {
+ public:
+  StripedSession(std::shared_ptr<const Codec> codec, BlockStore* store,
+                 std::size_t block_size, std::uint64_t resume_blocks,
+                 pipeline::ThreadPool* pool);
+
+  const Codec& codec() const override { return *codec_; }
+  std::size_t block_size() const override { return block_size_; }
+  std::uint64_t size() const override { return count_; }
+  void append(const std::vector<Bytes>& blocks) override;
+  std::optional<Bytes> read_block(NodeIndex i) override;
+  RepairReport repair_all() override;
+  void for_each_expected_key(
+      const std::function<void(const BlockKey&)>& fn) const override;
+  IntegrityReport verify_integrity() const override;
+
+  std::uint64_t stripes() const noexcept { return (count_ + k_ - 1) / k_; }
+
+ private:
+  BlockKey parity_key(std::uint64_t stripe, std::uint32_t j) const noexcept {
+    return BlockKey{BlockKey::Kind::kParity, StrandClass::kHorizontal,
+                    static_cast<NodeIndex>(stripe * m_ + j) + 1};
+  }
+
+  /// The whole group of stripe g as codec parts: present payloads,
+  /// nullopt for missing real parts, zero blocks for the virtual tail.
+  /// `erased` receives the missing real part indices.
+  std::vector<std::optional<Bytes>> collect_parts(
+      std::uint64_t stripe, PartIndexList& erased) const;
+
+  /// Availability-only probe of stripe g: the missing real part
+  /// indices, without reading any payloads.
+  PartIndexList probe_erased(std::uint64_t stripe) const;
+
+  /// Resume-time crash recovery for a partial tail stripe (see the
+  /// class comment). No-op when no orphan blocks exist.
+  void heal_tail_stripe();
+
+  /// Recomputes and stores the parities of one stripe from the data
+  /// blocks currently in the store (virtual tail = zero blocks).
+  void encode_stripe(std::uint64_t stripe);
+
+  struct StripeOutcome {
+    std::uint64_t nodes_repaired = 0;
+    std::uint64_t edges_repaired = 0;
+    std::uint64_t nodes_unrecovered = 0;
+    std::uint64_t edges_unrecovered = 0;
+  };
+
+  /// Repairs one stripe in place (no-op when intact); an irreparable
+  /// stripe reports its missing parts as unrecovered instead.
+  StripeOutcome repair_stripe(std::uint64_t stripe);
+
+  std::shared_ptr<const Codec> codec_;
+  BlockStore* store_;
+  std::size_t block_size_;
+  pipeline::ThreadPool* pool_;
+  std::uint32_t k_;  // data parts per stripe
+  std::uint32_t m_;  // parity parts per stripe
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace aec

@@ -42,9 +42,17 @@ struct BlockKeyHash {
 
 /// "d26", "p(H,21)" — debugging / logging aid.
 inline std::string to_string(const BlockKey& k) {
-  if (k.is_data()) return "d" + std::to_string(k.index);
-  return std::string("p(") + to_string(k.cls) + "," +
-         std::to_string(k.index) + ")";
+  if (k.is_data()) {
+    std::string out = "d";
+    out += std::to_string(k.index);
+    return out;
+  }
+  std::string out = "p(";
+  out += to_string(k.cls);
+  out += ',';
+  out += std::to_string(k.index);
+  out += ')';
+  return out;
 }
 
 }  // namespace aec

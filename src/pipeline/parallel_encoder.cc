@@ -20,9 +20,27 @@ ParallelEncoder::ParallelEncoder(CodeParams params, std::size_t block_size,
       store_(store),
       schedule_(schedule),
       count_(resume_count),
-      pool_(threads) {
+      owned_pool_(std::make_unique<ThreadPool>(threads)),
+      pool_(owned_pool_.get()) {
   AEC_CHECK_MSG(block_size_ > 0, "block size must be positive");
   AEC_CHECK_MSG(store_ != nullptr, "encoder needs a block store");
+  for (StrandClass cls : params_.classes())
+    heads_[static_cast<std::size_t>(cls)].resize(params_.strands_of(cls));
+}
+
+ParallelEncoder::ParallelEncoder(CodeParams params, std::size_t block_size,
+                                 BlockStore* store, ThreadPool* pool,
+                                 std::uint64_t resume_count,
+                                 Schedule schedule)
+    : params_(std::move(params)),
+      block_size_(block_size),
+      store_(store),
+      schedule_(schedule),
+      count_(resume_count),
+      pool_(pool) {
+  AEC_CHECK_MSG(block_size_ > 0, "block size must be positive");
+  AEC_CHECK_MSG(store_ != nullptr, "encoder needs a block store");
+  AEC_CHECK_MSG(pool_ != nullptr, "encoder needs a worker pool");
   for (StrandClass cls : params_.classes())
     heads_[static_cast<std::size_t>(cls)].resize(params_.strands_of(cls));
 }
@@ -108,7 +126,7 @@ void ParallelEncoder::append_strand_scheduled(
     const auto slot = static_cast<std::size_t>(cls);
     for (const std::vector<std::uint32_t>& bucket : buckets[slot]) {
       if (bucket.empty()) continue;
-      pool_.submit([this, &lat, &blocks, &results, &bucket, cls, slot,
+      pool_->submit([this, &lat, &blocks, &results, &bucket, cls, slot,
                     first] {
         Bytes& head =
             head_slot(cls, lat.strand_id(first + bucket.front(), cls));
@@ -125,18 +143,18 @@ void ParallelEncoder::append_strand_scheduled(
 
   // Data blocks have no ordering constraints at all: chunk them evenly.
   const std::size_t chunk_count =
-      std::min(pool_.thread_count(), blocks.size());
+      std::min(pool_->thread_count(), blocks.size());
   const std::size_t chunk = (blocks.size() + chunk_count - 1) / chunk_count;
   for (std::size_t begin = 0; begin < blocks.size(); begin += chunk) {
     const std::size_t end = std::min(begin + chunk, blocks.size());
-    pool_.submit([this, &blocks, first, begin, end] {
+    pool_->submit([this, &blocks, first, begin, end] {
       for (std::size_t j = begin; j < end; ++j)
         store_->put(BlockKey::data(first + static_cast<NodeIndex>(j)),
                     blocks[j]);
     });
   }
 
-  pool_.wait_idle();  // batch barrier (rethrows the first task error)
+  pool_->wait_idle();  // batch barrier (rethrows the first task error)
   count_ = static_cast<std::uint64_t>(last);
 }
 
@@ -180,11 +198,11 @@ void ParallelEncoder::append_wave_scheduled(
     // tasks' head slots are disjoint.
     for (const NodeIndex i : nodes) {
       const auto j = static_cast<std::size_t>(i - first);
-      pool_.submit([this, &lat, i, &block = blocks[j], &result = results[j]] {
+      pool_->submit([this, &lat, i, &block = blocks[j], &result = results[j]] {
         result = seal_node(lat, i, block);
       });
     }
-    pool_.wait_idle();  // wave barrier: heads advance once per wave
+    pool_->wait_idle();  // wave barrier: heads advance once per wave
   }
   count_ = static_cast<std::uint64_t>(last);
 }

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/bytes.h"
@@ -57,11 +58,20 @@ const char* to_string(Schedule schedule) noexcept;
 
 class ParallelEncoder {
  public:
-  /// `threads` ≥ 1 workers; `store` needs a thread-safe put() and must
-  /// outlive the encoder. `resume_count` > 0 resumes an existing lattice
-  /// (heads re-fetched from the store between batches, on demand).
+  /// `threads` ≥ 1 workers (pool owned by the encoder); `store` needs a
+  /// thread-safe put() and must outlive the encoder. `resume_count` > 0
+  /// resumes an existing lattice (heads re-fetched from the store between
+  /// batches, on demand).
   ParallelEncoder(CodeParams params, std::size_t block_size,
                   BlockStore* store, std::size_t threads,
+                  std::uint64_t resume_count = 0,
+                  Schedule schedule = Schedule::kStrands);
+
+  /// Shares an externally owned worker pool (the api::Engine shape). The
+  /// pool must outlive the encoder and must not be waited on concurrently
+  /// by another coordinator during append_all (wait_idle is pool-global).
+  ParallelEncoder(CodeParams params, std::size_t block_size,
+                  BlockStore* store, ThreadPool* pool,
                   std::uint64_t resume_count = 0,
                   Schedule schedule = Schedule::kStrands);
 
@@ -75,7 +85,7 @@ class ParallelEncoder {
 
   const CodeParams& params() const noexcept { return params_; }
   std::size_t block_size() const noexcept { return block_size_; }
-  std::size_t thread_count() const noexcept { return pool_.thread_count(); }
+  std::size_t thread_count() const noexcept { return pool_->thread_count(); }
   Schedule schedule() const noexcept { return schedule_; }
 
   /// Number of data blocks entangled so far.
@@ -119,7 +129,9 @@ class ParallelEncoder {
   std::uint64_t count_ = 0;
   /// heads_[class][strand_id]; sized s / p / p (unused classes empty).
   std::vector<Bytes> heads_[3];
-  ThreadPool pool_;
+  /// Set only by the owning constructor; pool_ points here or outside.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
 };
 
 }  // namespace aec::pipeline

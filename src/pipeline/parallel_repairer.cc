@@ -12,26 +12,39 @@ ParallelRepairer::ParallelRepairer(CodeParams params, std::uint64_t n_nodes,
     : lattice_(std::move(params), n_nodes, Lattice::Boundary::kOpen),
       block_size_(block_size),
       store_(store),
-      pool_(threads) {
+      owned_pool_(std::make_unique<ThreadPool>(threads)),
+      pool_(owned_pool_.get()) {
   AEC_CHECK_MSG(store_ != nullptr, "repairer needs a block store");
   AEC_CHECK_MSG(block_size_ > 0, "block size must be positive");
+}
+
+ParallelRepairer::ParallelRepairer(CodeParams params, std::uint64_t n_nodes,
+                                   std::size_t block_size, BlockStore* store,
+                                   ThreadPool* pool)
+    : lattice_(std::move(params), n_nodes, Lattice::Boundary::kOpen),
+      block_size_(block_size),
+      store_(store),
+      pool_(pool) {
+  AEC_CHECK_MSG(store_ != nullptr, "repairer needs a block store");
+  AEC_CHECK_MSG(block_size_ > 0, "block size must be positive");
+  AEC_CHECK_MSG(pool_ != nullptr, "repairer needs a worker pool");
 }
 
 void ParallelRepairer::execute_wave(const std::vector<RepairStep>& wave) {
   // Contiguous chunks, one task each; small waves keep the dispatch
   // overhead at one task per step at most.
   const std::size_t chunk_count =
-      std::min(pool_.thread_count(), wave.size());
+      std::min(pool_->thread_count(), wave.size());
   const std::size_t chunk = (wave.size() + chunk_count - 1) / chunk_count;
   for (std::size_t begin = 0; begin < wave.size(); begin += chunk) {
     const std::size_t end = std::min(begin + chunk, wave.size());
-    pool_.submit([this, &wave, begin, end] {
+    pool_->submit([this, &wave, begin, end] {
       for (std::size_t j = begin; j < end; ++j)
         store_->put(wave[j].key, reconstruct_step(lattice_, *store_,
                                                   block_size_, wave[j]));
     });
   }
-  pool_.wait_idle();  // wave barrier (rethrows the first task error)
+  pool_->wait_idle();  // wave barrier (rethrows the first task error)
 }
 
 void ParallelRepairer::execute_plan(const RepairPlan& plan) {

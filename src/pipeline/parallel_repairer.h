@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "common/bytes.h"
@@ -37,10 +38,17 @@ class ParallelRepairer {
  public:
   /// Views the first n_nodes positions of an open lattice stored in
   /// `store` (must outlive the repairer, and must be thread-safe when
-  /// `threads` > 1). Spawns `threads` ≥ 1 workers.
+  /// `threads` > 1). Spawns `threads` ≥ 1 owned workers.
   ParallelRepairer(CodeParams params, std::uint64_t n_nodes,
                    std::size_t block_size, BlockStore* store,
                    std::size_t threads);
+
+  /// Shares an externally owned worker pool (the api::Engine shape). The
+  /// pool must outlive the repairer; the store must be thread-safe when
+  /// the pool has more than one worker.
+  ParallelRepairer(CodeParams params, std::uint64_t n_nodes,
+                   std::size_t block_size, BlockStore* store,
+                   ThreadPool* pool);
 
   /// Plans with the shared RepairPlanner, then executes each wave across
   /// the worker pool. Same repaired bytes, same round counts and same
@@ -54,7 +62,7 @@ class ParallelRepairer {
 
   const Lattice& lattice() const noexcept { return lattice_; }
   std::size_t block_size() const noexcept { return block_size_; }
-  std::size_t thread_count() const noexcept { return pool_.thread_count(); }
+  std::size_t thread_count() const noexcept { return pool_->thread_count(); }
 
  private:
   /// Dispatches one wave in contiguous chunks and waits at the barrier.
@@ -64,7 +72,9 @@ class ParallelRepairer {
   Lattice lattice_;  // owns the CodeParams copy (lattice_.params())
   std::size_t block_size_;
   BlockStore* store_;
-  ThreadPool pool_;
+  /// Set only by the owning constructor; pool_ points here or outside.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
 };
 
 }  // namespace aec::pipeline

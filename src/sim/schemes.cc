@@ -25,22 +25,25 @@ std::vector<std::unique_ptr<RedundancyScheme>> replication_schemes() {
   return schemes;
 }
 
-std::unique_ptr<RedundancyScheme> make_scheme(const std::string& name) {
-  unsigned a = 0;
-  unsigned b = 0;
-  unsigned c = 0;
-  if (std::sscanf(name.c_str(), "RS(%u,%u)", &a, &b) == 2)
-    return make_rs_scheme(a, b);
-  if (name == "AE(1,-,-)" || name == "AE(1)")
-    return make_ae_scheme(CodeParams::single());
-  if (std::sscanf(name.c_str(), "AE(%u,%u,%u)", &a, &b, &c) == 3)
-    return make_ae_scheme(CodeParams(a, b, c));
-  if (std::sscanf(name.c_str(), "%u-way replication", &a) == 1)
-    return make_replication_scheme(a);
-  if (std::sscanf(name.c_str(), "replication(%u)", &a) == 1)
-    return make_replication_scheme(a);
-  AEC_CHECK_MSG(false, "unknown scheme name: " << name);
+std::unique_ptr<RedundancyScheme> make_scheme(const Codec& codec) {
+  if (const auto* ae = dynamic_cast<const AeCodec*>(&codec))
+    return make_ae_scheme(ae->params());
+  if (const auto* rs = dynamic_cast<const RsCodec*>(&codec))
+    return make_rs_scheme(rs->rs().k(), rs->rs().m());
+  if (const auto* rep = dynamic_cast<const ReplicationCodec*>(&codec))
+    return make_replication_scheme(rep->copies());
+  AEC_CHECK_MSG(false, "codec " << codec.id() << " has no simulation scheme");
   return nullptr;
+}
+
+std::unique_ptr<RedundancyScheme> make_scheme(const std::string& name) {
+  // The paper's legacy replication spellings, then the codec registry —
+  // one parser for the byte archive and the simulation.
+  unsigned n = 0;
+  if (std::sscanf(name.c_str(), "%u-way replication", &n) == 1 ||
+      std::sscanf(name.c_str(), "replication(%u)", &n) == 1)
+    return make_replication_scheme(n);
+  return make_scheme(*make_codec(name));
 }
 
 }  // namespace aec::sim

@@ -1,11 +1,14 @@
 // Registry of the redundancy schemes evaluated by the paper (Table IV)
-// plus a name-based factory for benches and examples.
+// plus factories from codec specs — the simulation consumes the same
+// aec::Codec vocabulary as the byte archive, so a spec string means one
+// thing everywhere.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "api/codec.h"
 #include "sim/ae_system.h"
 #include "sim/replication_system.h"
 #include "sim/rs_system.h"
@@ -19,8 +22,13 @@ std::vector<std::unique_ptr<RedundancyScheme>> paper_schemes();
 /// The replication reference lines: 2-, 3- and 4-way.
 std::vector<std::unique_ptr<RedundancyScheme>> replication_schemes();
 
-/// Parses "RS(10,4)", "AE(3,2,5)", "AE(1,-,-)" or "3-way replication"
-/// (also accepts "replication(3)"). Throws CheckError on syntax errors.
+/// The disaster-simulation counterpart of a byte codec (AE, RS or REP).
+std::unique_ptr<RedundancyScheme> make_scheme(const Codec& codec);
+
+/// Parses a codec spec through the CodecRegistry — "RS(10,4)",
+/// "AE(3,2,5)", "AE(1,-,-)", "REP(3)" — plus the paper's legacy
+/// replication names "3-way replication" / "replication(3)". Throws
+/// CheckError on syntax errors.
 std::unique_ptr<RedundancyScheme> make_scheme(const std::string& name);
 
 }  // namespace aec::sim

@@ -1,4 +1,4 @@
-// aectool — command-line front end for entangled archives.
+// aectool — command-line front end for redundant archives.
 //
 //   aectool init   --root DIR [--code AE(3,2,5)] [--block-size 4096]
 //   aectool put    --root DIR --name NAME [--threads N] FILE
@@ -8,16 +8,17 @@
 //   aectool scrub  --root DIR [--threads N]
 //   aectool damage --root DIR --fraction 0.2 [--seed 7]
 //
-// `damage` deletes random block files (testing aid); `scrub` repairs
-// everything recoverable and runs the anti-tampering scan. `--threads`
-// parallelizes the entanglement pipeline (put) and the repair waves
-// (get through damage, scrub) — the stored bytes are identical either
-// way.
+// `--code` accepts any registered codec spec — AE(α,s,p) entanglement,
+// RS(k,m) Reed-Solomon stripes, REP(n) replication. `damage` deletes
+// random block files (testing aid); `scrub` repairs everything
+// recoverable and runs the integrity scan. `--threads` sizes the
+// execution engine (worker pool) for put/get/scrub — the stored bytes
+// are identical at every thread count.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 
 #include "common/check.h"
@@ -29,13 +30,18 @@ using namespace aec;
 using namespace aec::tools;
 
 [[noreturn]] void usage() {
-  std::fprintf(stderr, "usage: aectool <init|put|get|ls|stat|scrub|damage>"
-                       " --root DIR [options]\n"
-                       "  init   --code AE(a,s,p) --block-size N\n"
-                       "  put    --name NAME [--threads N] FILE\n"
-                       "  get    --name NAME [--threads N] [-o OUT]\n"
-                       "  scrub  [--threads N]\n"
-                       "  damage --fraction F [--seed S]\n");
+  std::fprintf(stderr,
+               "usage: aectool <init|put|get|ls|stat|scrub|damage>"
+               " --root DIR [options]\n"
+               "  init   --code SPEC --block-size N   create an archive\n"
+               "         (SPEC: AE(a,s,p) | RS(k,m) | REP(n);"
+               " default AE(3,2,5))\n"
+               "  put    --name NAME [--threads N] FILE\n"
+               "  get    --name NAME [--threads N] [-o OUT]\n"
+               "  ls                                  list archived files\n"
+               "  stat                                archive summary\n"
+               "  scrub  [--threads N]                repair + integrity scan\n"
+               "  damage --fraction F [--seed S]      delete random blocks\n");
   std::exit(2);
 }
 
@@ -45,14 +51,40 @@ struct Args {
   std::vector<std::string> positional;
 };
 
+/// Options each command accepts; anything else is an error, not
+/// something to swallow silently.
+const std::set<std::string>& allowed_options(const std::string& command) {
+  static const std::map<std::string, std::set<std::string>> allowed = {
+      {"init", {"--root", "--code", "--block-size"}},
+      {"put", {"--root", "--name", "--threads"}},
+      {"get", {"--root", "--name", "--threads", "--out"}},
+      {"ls", {"--root"}},
+      {"stat", {"--root"}},
+      {"scrub", {"--root", "--threads"}},
+      {"damage", {"--root", "--fraction", "--seed"}},
+  };
+  const auto it = allowed.find(command);
+  if (it == allowed.end()) {
+    std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+    usage();
+  }
+  return it->second;
+}
+
 Args parse(int argc, char** argv) {
   if (argc < 2) usage();
   Args args;
   args.command = argv[1];
+  const std::set<std::string>& allowed = allowed_options(args.command);
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0 || arg == "-o") {
       const std::string key = arg == "-o" ? "--out" : arg;
+      if (allowed.count(key) == 0) {
+        std::fprintf(stderr, "error: unknown option '%s' for '%s'\n",
+                     arg.c_str(), args.command.c_str());
+        usage();
+      }
       if (i + 1 >= argc) usage();
       args.options[key] = argv[++i];
     } else {
@@ -60,16 +92,6 @@ Args parse(int argc, char** argv) {
     }
   }
   return args;
-}
-
-CodeParams parse_code(const std::string& text) {
-  if (text == "AE(1,-,-)" || text == "AE(1)") return CodeParams::single();
-  unsigned a = 0;
-  unsigned s = 0;
-  unsigned p = 0;
-  AEC_CHECK_MSG(std::sscanf(text.c_str(), "AE(%u,%u,%u)", &a, &s, &p) == 3,
-                "cannot parse code '" << text << "'");
-  return CodeParams(a, s, p);
 }
 
 Bytes read_whole_file(const std::string& path) {
@@ -93,29 +115,25 @@ int run(const Args& args) {
 
   if (args.command == "init") {
     const auto code_it = args.options.find("--code");
-    const CodeParams params = code_it == args.options.end()
-                                  ? CodeParams(3, 2, 5)
-                                  : parse_code(code_it->second);
+    const std::string spec =
+        code_it == args.options.end() ? "AE(3,2,5)" : code_it->second;
     const auto bs_it = args.options.find("--block-size");
     const std::size_t block_size =
         bs_it == args.options.end()
             ? 4096
             : static_cast<std::size_t>(std::stoull(bs_it->second));
-    Archive::create(root, params, block_size);
+    auto archive = Archive::create(root, spec, block_size);
     std::printf("initialized %s archive at %s (block size %zu)\n",
-                params.name().c_str(), root.c_str(), block_size);
+                archive->codec().id().c_str(), root.c_str(), block_size);
     return 0;
   }
 
-  // --threads N (default 1) switches `put` to the parallel entanglement
-  // pipeline and `get`/`scrub` to wave-parallel repair; the remaining
-  // commands ignore it (no worker pool spun up).
-  const bool threaded_command = args.command == "put" ||
-                                args.command == "get" ||
-                                args.command == "scrub";
+  // --threads N (default 1) sizes the engine's worker pool: parallel
+  // entanglement/stripe encode on put, wave-parallel repair on
+  // get/scrub. The remaining commands run serially.
   const auto threads_it = args.options.find("--threads");
   std::size_t threads = 1;
-  if (threaded_command && threads_it != args.options.end()) {
+  if (threads_it != args.options.end()) {
     const std::string& text = threads_it->second;
     const bool numeric =
         !text.empty() && text.size() <= 4 &&
@@ -126,7 +144,7 @@ int run(const Args& args) {
     AEC_CHECK_MSG(threads >= 1 && threads <= 1024,
                   "--threads must be in [1, 1024], got " << text);
   }
-  auto archive = Archive::open(root, threads);
+  auto archive = Archive::open(root, Engine::with_threads(threads));
 
   if (args.command == "put") {
     AEC_CHECK_MSG(args.positional.size() == 1, "put needs exactly one FILE");
@@ -138,7 +156,7 @@ int run(const Args& args) {
                 static_cast<unsigned long long>(
                     entry.block_count(archive->block_size())),
                 static_cast<long long>(entry.first_block),
-                threads > 1 ? " (parallel pipeline)" : "");
+                threads > 1 ? " (parallel engine)" : "");
     return 0;
   }
   if (args.command == "get") {
@@ -169,7 +187,7 @@ int run(const Args& args) {
     return 0;
   }
   if (args.command == "stat") {
-    std::printf("code        : %s\n", archive->params().name().c_str());
+    std::printf("codec       : %s\n", archive->codec().id().c_str());
     std::printf("block size  : %zu\n", archive->block_size());
     std::printf("data blocks : %llu\n",
                 static_cast<unsigned long long>(archive->blocks()));

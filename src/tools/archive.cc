@@ -1,7 +1,9 @@
 #include "tools/archive.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -46,79 +48,239 @@ std::string hex_decode(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
-Archive::Archive(fs::path root, CodeParams params, std::size_t block_size,
-                 std::uint64_t resume_count, std::vector<FileEntry> files,
-                 std::size_t threads)
-    : root_(std::move(root)),
-      params_(std::move(params)),
-      block_size_(block_size),
-      threads_(threads == 0 ? 1 : threads),
-      files_(std::move(files)) {
-  store_ = std::make_unique<FileBlockStore>(root_);
-  if (threads_ > 1) {
-    locked_store_ = std::make_unique<pipeline::LockedBlockStore>(store_.get());
-    parallel_encoder_ = std::make_unique<pipeline::ParallelEncoder>(
-        params_, block_size_, locked_store_.get(), threads_, resume_count);
-  } else {
-    encoder_ = std::make_unique<Encoder>(params_, block_size_, store_.get(),
-                                         resume_count);
-  }
-}
-
-std::unique_ptr<Archive> Archive::create(fs::path root, CodeParams params,
-                                         std::size_t block_size,
-                                         std::size_t threads) {
-  AEC_CHECK_MSG(!fs::exists(root / "manifest.txt"),
-                "archive already exists at " << root.string());
-  fs::create_directories(root);
-  auto archive = std::unique_ptr<Archive>(new Archive(
-      std::move(root), std::move(params), block_size, 0, {}, threads));
-  archive->save_manifest();
-  return archive;
-}
-
-std::unique_ptr<Archive> Archive::open(fs::path root, std::size_t threads) {
-  std::ifstream in(root / "manifest.txt");
-  AEC_CHECK_MSG(in.good(),
-                "no archive manifest at " << (root / "manifest.txt").string());
-  std::string line;
-  std::getline(in, line);
-  AEC_CHECK_MSG(line == "aec-archive v1", "unknown manifest header");
-
-  std::uint32_t alpha = 0;
-  std::uint32_t s = 0;
-  std::uint32_t p = 0;
+struct ParsedManifest {
+  std::string codec_spec;
   std::size_t block_size = 0;
   std::uint64_t blocks = 0;
   std::vector<FileEntry> files;
+};
+
+/// Parses and validates a v1 or v2 manifest. Every structural defect —
+/// unknown header/tag, malformed line, duplicate file name, file run
+/// outside the block range, missing v2 end marker — is a CheckError
+/// here, not a confusing downstream failure.
+ParsedManifest parse_manifest(std::istream& in) {
+  std::string header;
+  std::getline(in, header);
+  const bool v2 = header == "aec-archive v2";
+  AEC_CHECK_MSG(v2 || header == "aec-archive v1",
+                "unknown manifest header '" << header << "'");
+
+  ParsedManifest manifest;
+  bool saw_end = false;
+  std::string line;
   while (std::getline(in, line)) {
+    AEC_CHECK_MSG(!saw_end, "manifest: content after end marker");
     std::istringstream row(line);
     std::string tag;
     row >> tag;
-    if (tag == "code") {
+    if (v2 && tag == "codec") {
+      row >> manifest.codec_spec;
+    } else if (!v2 && tag == "code") {
+      // v1 manifests are AE-only: "code <alpha> <s> <p>".
+      std::uint32_t alpha = 0;
+      std::uint32_t s = 0;
+      std::uint32_t p = 0;
       row >> alpha >> s >> p;
+      if (!row.fail())
+        manifest.codec_spec = CodeParams(alpha, s, p).name();
     } else if (tag == "block_size") {
-      row >> block_size;
+      row >> manifest.block_size;
     } else if (tag == "blocks") {
-      row >> blocks;
+      row >> manifest.blocks;
     } else if (tag == "file") {
       FileEntry entry;
       std::string hex_name;
       row >> hex_name >> entry.first_block >> entry.bytes;
-      entry.name = hex_decode(hex_name);
-      files.push_back(std::move(entry));
+      if (!row.fail()) entry.name = hex_decode(hex_name);
+      manifest.files.push_back(std::move(entry));
+    } else if (v2 && tag == "end") {
+      std::size_t count = 0;
+      row >> count;
+      AEC_CHECK_MSG(!row.fail() && count == manifest.files.size(),
+                    "manifest: end marker expects "
+                        << count << " files, found " << manifest.files.size()
+                        << " (truncated or corrupt manifest)");
+      saw_end = true;
     } else if (!tag.empty()) {
       AEC_CHECK_MSG(false, "manifest: unknown tag '" << tag << "'");
     }
     AEC_CHECK_MSG(!row.fail(), "manifest: malformed line '" << line << "'");
   }
-  AEC_CHECK_MSG(alpha >= 1 && block_size > 0, "manifest: missing fields");
-  return std::unique_ptr<Archive>(new Archive(std::move(root),
-                                              CodeParams(alpha, s, p),
-                                              block_size, blocks,
-                                              std::move(files), threads));
+  AEC_CHECK_MSG(!v2 || saw_end,
+                "manifest: missing end marker (truncated manifest)");
+  AEC_CHECK_MSG(!manifest.codec_spec.empty() && manifest.block_size > 0,
+                "manifest: missing codec/block_size fields");
+
+  std::unordered_set<std::string> names;
+  for (const FileEntry& entry : manifest.files) {
+    AEC_CHECK_MSG(names.insert(entry.name).second,
+                  "manifest: duplicate file name '" << entry.name << "'");
+    const std::uint64_t count =
+        std::max<std::uint64_t>(1, entry.block_count(manifest.block_size));
+    AEC_CHECK_MSG(entry.first_block >= 1 &&
+                      static_cast<std::uint64_t>(entry.first_block) - 1 +
+                              count <=
+                          manifest.blocks,
+                  "manifest: file '" << entry.name
+                                     << "' lies outside the block range "
+                                        "(truncated or corrupt manifest)");
+  }
+  return manifest;
+}
+
+}  // namespace
+
+// --- FileWriter -------------------------------------------------------------
+
+FileWriter::FileWriter(Archive* archive, std::string name)
+    : archive_(archive),
+      name_(std::move(name)),
+      first_block_(static_cast<NodeIndex>(archive->blocks()) + 1) {}
+
+FileWriter::FileWriter(FileWriter&& other) noexcept
+    : archive_(other.archive_),
+      name_(std::move(other.name_)),
+      first_block_(other.first_block_),
+      bytes_(other.bytes_),
+      pending_(std::move(other.pending_)) {
+  other.archive_ = nullptr;
+}
+
+FileWriter::~FileWriter() {
+  if (archive_ != nullptr) archive_->writer_open_ = false;  // abandoned
+}
+
+void FileWriter::write(BytesView chunk) {
+  AEC_CHECK_MSG(archive_ != nullptr, "write() on a closed FileWriter");
+  pending_.insert(pending_.end(), chunk.begin(), chunk.end());
+  bytes_ += chunk.size();
+  flush_windows();
+}
+
+void FileWriter::flush_windows() {
+  const std::size_t block_size = archive_->block_size();
+  const std::size_t window_bytes =
+      archive_->engine().ingest_window_blocks() * block_size;
+  while (pending_.size() >= window_bytes) {
+    std::vector<Bytes> blocks;
+    blocks.reserve(window_bytes / block_size);
+    for (std::size_t offset = 0; offset < window_bytes; offset += block_size)
+      blocks.emplace_back(
+          pending_.begin() + static_cast<std::ptrdiff_t>(offset),
+          pending_.begin() + static_cast<std::ptrdiff_t>(offset + block_size));
+    archive_->session_->append(blocks);
+    // The payload cache would otherwise retain every block of the file;
+    // the index (and the blocks on disk) survive, so streaming ingest
+    // keeps only the current window plus the codec's heads in memory.
+    archive_->store_->drop_cache();
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(window_bytes));
+  }
+}
+
+const FileEntry& FileWriter::close() {
+  AEC_CHECK_MSG(archive_ != nullptr, "close() on a closed FileWriter");
+  Archive& archive = *archive_;
+  const std::size_t block_size = archive.block_size();
+
+  // Seal the tail: whole blocks, then a zero-padded final block. Empty
+  // files still occupy one (all-zero) block.
+  std::vector<Bytes> blocks;
+  blocks.reserve(pending_.size() / block_size + 1);
+  std::size_t offset = 0;
+  for (; offset + block_size <= pending_.size(); offset += block_size)
+    blocks.emplace_back(
+        pending_.begin() + static_cast<std::ptrdiff_t>(offset),
+        pending_.begin() + static_cast<std::ptrdiff_t>(offset + block_size));
+  if (offset < pending_.size() || bytes_ == 0) {
+    Bytes tail(block_size, 0);
+    std::copy(pending_.begin() + static_cast<std::ptrdiff_t>(offset),
+              pending_.end(), tail.begin());
+    blocks.push_back(std::move(tail));
+  }
+  if (!blocks.empty()) {
+    archive.session_->append(blocks);
+    archive.store_->drop_cache();
+  }
+  pending_.clear();
+
+  FileEntry entry;
+  entry.name = name_;
+  entry.first_block = first_block_;
+  entry.bytes = bytes_;
+  archive.files_.push_back(std::move(entry));
+  archive.writer_open_ = false;
+  archive_ = nullptr;
+  archive.save_manifest();
+  return archive.files_.back();
+}
+
+// --- Archive ----------------------------------------------------------------
+
+Archive::Archive(fs::path root, std::shared_ptr<const Codec> codec,
+                 std::size_t block_size, std::uint64_t resume_count,
+                 std::vector<FileEntry> files, std::shared_ptr<Engine> engine)
+    : root_(std::move(root)),
+      codec_(std::move(codec)),
+      block_size_(block_size),
+      engine_(engine ? std::move(engine) : Engine::serial()),
+      files_(std::move(files)) {
+  store_ = std::make_unique<FileBlockStore>(root_);
+  locked_store_ = std::make_unique<pipeline::LockedBlockStore>(store_.get());
+  session_ = engine_->open_session(codec_, locked_store_.get(), block_size_,
+                                   resume_count);
+}
+
+Archive::~Archive() = default;
+
+std::unique_ptr<Archive> Archive::create(fs::path root,
+                                         const std::string& codec_spec,
+                                         std::size_t block_size,
+                                         std::shared_ptr<Engine> engine) {
+  AEC_CHECK_MSG(!fs::exists(root / "manifest.txt"),
+                "archive already exists at " << root.string());
+  AEC_CHECK_MSG(block_size > 0, "block size must be positive");
+  std::shared_ptr<const Codec> codec = make_codec(codec_spec);
+  fs::create_directories(root);
+  auto archive = std::unique_ptr<Archive>(
+      new Archive(std::move(root), std::move(codec), block_size, 0, {},
+                  std::move(engine)));
+  archive->save_manifest();
+  return archive;
+}
+
+std::unique_ptr<Archive> Archive::create(fs::path root, CodeParams params,
+                                         std::size_t block_size,
+                                         std::size_t threads) {
+  return create(std::move(root), params.name(), block_size,
+                threads <= 1 ? Engine::serial()
+                             : Engine::with_threads(threads));
+}
+
+std::unique_ptr<Archive> Archive::open(fs::path root,
+                                       std::shared_ptr<Engine> engine) {
+  std::ifstream in(root / "manifest.txt");
+  AEC_CHECK_MSG(in.good(),
+                "no archive manifest at " << (root / "manifest.txt").string());
+  ParsedManifest manifest = parse_manifest(in);
+  std::shared_ptr<const Codec> codec = make_codec(manifest.codec_spec);
+  return std::unique_ptr<Archive>(
+      new Archive(std::move(root), std::move(codec), manifest.block_size,
+                  manifest.blocks, std::move(manifest.files),
+                  std::move(engine)));
+}
+
+std::unique_ptr<Archive> Archive::open(fs::path root, std::size_t threads) {
+  return open(std::move(root), threads <= 1 ? Engine::serial()
+                                            : Engine::with_threads(threads));
+}
+
+const CodeParams& Archive::params() const {
+  const auto* ae = dynamic_cast<const AeCodec*>(codec_.get());
+  AEC_CHECK_MSG(ae != nullptr,
+                "params(): codec " << codec_->id() << " is not AE");
+  return ae->params();
 }
 
 void Archive::save_manifest() const {
@@ -126,55 +288,40 @@ void Archive::save_manifest() const {
   {
     std::ofstream out(tmp, std::ios::trunc);
     AEC_CHECK_MSG(out.good(), "cannot write manifest");
-    out << "aec-archive v1\n";
-    out << "code " << params_.alpha() << " " << params_.s() << " "
-        << params_.p() << "\n";
+    out << "aec-archive v2\n";
+    out << "codec " << codec_->id() << "\n";
     out << "block_size " << block_size_ << "\n";
     out << "blocks " << blocks() << "\n";
     for (const FileEntry& entry : files_)
       out << "file " << hex_encode(entry.name) << " " << entry.first_block
           << " " << entry.bytes << "\n";
+    out << "end " << files_.size() << "\n";
     AEC_CHECK_MSG(out.good(), "manifest write failed");
   }
   fs::rename(tmp, root_ / "manifest.txt");  // atomic-ish swap
 }
 
-const FileEntry& Archive::add_file(const std::string& name,
-                                   BytesView content) {
+FileWriter Archive::begin_file(const std::string& name) {
+  AEC_CHECK_MSG(!writer_open_,
+                "begin_file: another FileWriter is open on this archive");
   for (const FileEntry& entry : files_)
     AEC_CHECK_MSG(entry.name != name,
                   "file '" << name << "' already archived");
-  FileEntry entry;
-  entry.name = name;
-  entry.first_block = static_cast<NodeIndex>(blocks() + 1);
-  entry.bytes = content.size();
-  const std::uint64_t count =
-      std::max<std::uint64_t>(1, entry.block_count(block_size_));
-  const auto nth_block = [&](std::uint64_t b) {
-    Bytes block(block_size_, 0);
-    const std::size_t offset = b * block_size_;
-    if (offset < content.size()) {
-      const std::size_t len =
-          std::min(block_size_, content.size() - offset);
-      std::copy_n(content.begin() + static_cast<std::ptrdiff_t>(offset),
-                  len, block.begin());
-    }
-    return block;
-  };
-  if (parallel_encoder_) {
-    // The pipeline wants the whole window at once (strands/waves fan
-    // out over it); batching doubles peak memory, so it is parallel-only.
-    std::vector<Bytes> file_blocks;
-    file_blocks.reserve(static_cast<std::size_t>(count));
-    for (std::uint64_t b = 0; b < count; ++b)
-      file_blocks.push_back(nth_block(b));
-    parallel_encoder_->append_all(file_blocks);
-  } else {
-    for (std::uint64_t b = 0; b < count; ++b) encoder_->append(nth_block(b));
-  }
-  files_.push_back(std::move(entry));
-  save_manifest();
-  return files_.back();
+  writer_open_ = true;
+  return FileWriter(this, name);
+}
+
+const FileEntry& Archive::add_file(const std::string& name,
+                                   BytesView content) {
+  FileWriter writer = begin_file(name);
+  // Window-sized slices: the writer's pending buffer never duplicates
+  // more than one window of the (caller-owned) content.
+  const std::size_t window =
+      engine_->ingest_window_blocks() * block_size_;
+  for (std::size_t offset = 0; offset < content.size(); offset += window)
+    writer.write(content.subspan(offset,
+                                 std::min(window, content.size() - offset)));
+  return writer.close();
 }
 
 std::optional<Bytes> Archive::read_file(const std::string& name) {
@@ -183,19 +330,13 @@ std::optional<Bytes> Archive::read_file(const std::string& name) {
     if (candidate.name == name) entry = &candidate;
   if (entry == nullptr) return std::nullopt;
 
-  // Serial decoder per read, or the archive's cached wave-parallel
-  // repairer over the lock-wrapped store when it has workers.
-  std::optional<Decoder> decoder;
-  if (threads_ == 1)
-    decoder.emplace(params_, blocks(), block_size_, store_.get());
   Bytes content;
   content.reserve(entry->bytes);
   const std::uint64_t count =
       std::max<std::uint64_t>(1, entry->block_count(block_size_));
   for (std::uint64_t b = 0; b < count; ++b) {
     const NodeIndex node = entry->first_block + static_cast<NodeIndex>(b);
-    const auto block =
-        decoder ? decoder->read_node(node) : repairer().read_node(node);
+    const auto block = session_->read_block(node);
     if (!block) return std::nullopt;  // irrecoverable
     const std::size_t want = static_cast<std::size_t>(
         std::min<std::uint64_t>(block_size_, entry->bytes - content.size()));
@@ -205,61 +346,32 @@ std::optional<Bytes> Archive::read_file(const std::string& name) {
   return content;
 }
 
-pipeline::ParallelRepairer& Archive::repairer() {
-  AEC_CHECK_MSG(threads_ > 1 && blocks() > 0,
-                "repairer(): parallel archive with data expected");
-  if (!repairer_ || repairer_->lattice().n_nodes() != blocks())
-    repairer_ = std::make_unique<pipeline::ParallelRepairer>(
-        params_, blocks(), block_size_, locked_store_.get(), threads_);
-  return *repairer_;
-}
-
 ScrubReport Archive::scrub() {
   ScrubReport report;
   if (blocks() == 0) return report;
-  if (threads_ > 1) {
-    report.repair = repairer().repair_all();
-  } else {
-    Decoder decoder(params_, blocks(), block_size_, store_.get());
-    report.repair = decoder.repair_all();
-  }
-  const Lattice lattice(params_, blocks(), Lattice::Boundary::kOpen);
-  const TamperScanResult scan =
-      scan_for_tampering(*store_, lattice, block_size_);
-  report.inconsistent_parities = scan.inconsistent_parities.size();
-  report.suspect_nodes = scan.suspect_nodes;
+  report.repair = session_->repair_all();
+  const IntegrityReport integrity = session_->verify_integrity();
+  report.inconsistent_parities = integrity.inconsistent_parities;
+  report.suspect_nodes = integrity.suspect_nodes;
   return report;
 }
 
 std::uint64_t Archive::missing_blocks() const {
-  if (blocks() == 0) return 0;
-  const Lattice lattice(params_, blocks(), Lattice::Boundary::kOpen);
   std::uint64_t missing = 0;
-  for (NodeIndex i = 1; i <= static_cast<NodeIndex>(blocks()); ++i) {
-    if (!store_->contains(BlockKey::data(i))) ++missing;
-    for (StrandClass cls : params_.classes())
-      if (!store_->contains(BlockKey::parity(lattice.output_edge(i, cls))))
-        ++missing;
-  }
+  session_->for_each_expected_key([&](const BlockKey& key) {
+    if (!store_->contains(key)) ++missing;
+  });
   return missing;
 }
 
 std::uint64_t Archive::inject_damage(double fraction, std::uint64_t seed) {
   AEC_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
                 "fraction must be in [0,1]");
-  if (blocks() == 0) return 0;
   Rng rng(seed);
-  const Lattice lattice(params_, blocks(), Lattice::Boundary::kOpen);
   std::uint64_t destroyed = 0;
-  for (NodeIndex i = 1; i <= static_cast<NodeIndex>(blocks()); ++i) {
-    if (rng.bernoulli(fraction) && store_->erase(BlockKey::data(i)))
-      ++destroyed;
-    for (StrandClass cls : params_.classes()) {
-      if (rng.bernoulli(fraction) &&
-          store_->erase(BlockKey::parity(lattice.output_edge(i, cls))))
-        ++destroyed;
-    }
-  }
+  session_->for_each_expected_key([&](const BlockKey& key) {
+    if (rng.bernoulli(fraction) && store_->erase(key)) ++destroyed;
+  });
   return destroyed;
 }
 

@@ -1,18 +1,31 @@
-// Durable entangled archive: FileBlockStore + codec + a plain-text
-// manifest. This is the "downstream user" face of the library — what the
-// aectool CLI drives.
+// Durable redundant archive: FileBlockStore + one Codec + one Engine +
+// a plain-text manifest. This is the "downstream user" face of the
+// library — what the aectool CLI drives.
 //
-// Manifest (<root>/manifest.txt):
-//   aec-archive v1
-//   code <alpha> <s> <p>
+// The archive is codec-generic: `aec::Codec` (AE entanglement, RS
+// stripes, n-way replication) picked at create() time and recorded in
+// the manifest, executed through an `aec::Engine`'s shared worker pool
+// (a 1-thread engine is the serial path; the stored bytes are identical
+// at every thread count).
+//
+// Manifest (<root>/manifest.txt), version 2:
+//   aec-archive v2
+//   codec <spec>            e.g. AE(3,2,5) / RS(10,4) / REP(3)
 //   block_size <bytes>
 //   blocks <count>
 //   file <hex-name> <first_block> <bytes>
 //   …
+//   end <file-count>        truncation guard — must be the last line
 //
-// Files are stored as consecutive block runs (zero-padded tail). Reads
-// repair missing blocks through the lattice transparently; scrub() runs
-// the global repair plus the anti-tampering scan.
+// Version-1 manifests (AE-only, "code <alpha> <s> <p>") still open;
+// the first write upgrades them to v2.
+//
+// Files are stored as consecutive block runs (zero-padded tail). Ingest
+// is streaming: begin_file() returns a FileWriter whose chunked write()
+// entangles one bounded window of blocks at a time, so huge files never
+// buffer fully in memory; add_file() is a convenience wrapper over it.
+// Reads repair missing blocks through the codec transparently; scrub()
+// runs the global repair plus the integrity scan.
 #pragma once
 
 #include <cstdint>
@@ -22,13 +35,11 @@
 #include <string>
 #include <vector>
 
-#include "core/codec/decoder.h"
-#include "core/codec/encoder.h"
+#include "api/codec.h"
+#include "api/engine.h"
+#include "api/session.h"
 #include "core/codec/file_block_store.h"
-#include "core/codec/tamper.h"
 #include "pipeline/concurrent_block_store.h"
-#include "pipeline/parallel_encoder.h"
-#include "pipeline/parallel_repairer.h"
 
 namespace aec::tools {
 
@@ -48,40 +59,99 @@ struct ScrubReport {
   std::vector<NodeIndex> suspect_nodes;
 };
 
+class Archive;
+
+/// Streaming ingest handle for one file (from Archive::begin_file). Feed
+/// chunks of any size through write(); whole windows of blocks are
+/// encoded and persisted as they fill, so peak memory stays bounded by
+/// the engine's ingest window regardless of file size. close() seals the
+/// zero-padded tail block and commits the manifest entry.
+///
+/// Destroying an unclosed writer abandons the file: no manifest entry is
+/// written; blocks already flushed stay in the store as unreferenced
+/// lattice filler until later ingest overwrites them (exactly the state
+/// a crash mid-put leaves behind, which reopen resumes from).
+class FileWriter {
+ public:
+  FileWriter(FileWriter&& other) noexcept;
+  FileWriter& operator=(FileWriter&&) = delete;
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+  ~FileWriter();
+
+  /// Appends a chunk (any size, including empty). Throws CheckError if
+  /// the writer is closed.
+  void write(BytesView chunk);
+
+  /// Flushes the tail, records the manifest entry and returns it. The
+  /// writer is unusable afterwards.
+  const FileEntry& close();
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t bytes_written() const noexcept { return bytes_; }
+
+ private:
+  friend class Archive;
+  FileWriter(Archive* archive, std::string name);
+
+  /// Encodes every full window currently buffered.
+  void flush_windows();
+
+  Archive* archive_;  // null once closed/moved-from
+  std::string name_;
+  NodeIndex first_block_ = 0;
+  std::uint64_t bytes_ = 0;
+  Bytes pending_;  // < one ingest window + one block
+};
+
 class Archive {
  public:
   /// Creates a fresh archive (root must not already hold a manifest).
-  /// `threads` > 1 turns on the parallel ingest pipeline: add_file
-  /// entangles through a ParallelEncoder over the (lock-wrapped) block
-  /// store. The on-disk layout and every block byte are identical either
-  /// way; `threads` is a per-process knob, not an archive property.
+  /// `codec_spec` is resolved through the CodecRegistry ("AE(3,2,5)",
+  /// "RS(10,4)", "REP(3)", …); a null `engine` means Engine::serial().
+  /// The engine is a per-process execution choice, not an archive
+  /// property — the stored bytes are identical for every engine.
+  static std::unique_ptr<Archive> create(std::filesystem::path root,
+                                         const std::string& codec_spec,
+                                         std::size_t block_size,
+                                         std::shared_ptr<Engine> engine = {});
+
+  /// Back-compat: AE codec from params + a bare thread count.
   static std::unique_ptr<Archive> create(std::filesystem::path root,
                                          CodeParams params,
                                          std::size_t block_size,
                                          std::size_t threads = 1);
 
-  /// Opens an existing archive from its manifest.
+  /// Opens an existing archive from its manifest (v1 or v2).
+  static std::unique_ptr<Archive> open(std::filesystem::path root,
+                                       std::shared_ptr<Engine> engine);
   static std::unique_ptr<Archive> open(std::filesystem::path root,
                                        std::size_t threads = 1);
 
-  const CodeParams& params() const noexcept { return params_; }
+  ~Archive();
+
+  const Codec& codec() const noexcept { return *codec_; }
+  /// AE archives only: the entanglement parameters.
+  const CodeParams& params() const;
   std::size_t block_size() const noexcept { return block_size_; }
-  std::uint64_t blocks() const noexcept {
-    return encoder_ ? encoder_->size() : parallel_encoder_->size();
-  }
-  std::size_t threads() const noexcept { return threads_; }
+  std::uint64_t blocks() const noexcept { return session_->size(); }
+  Engine& engine() const noexcept { return *engine_; }
+  std::size_t threads() const noexcept { return engine_->threads(); }
   const std::vector<FileEntry>& files() const noexcept { return files_; }
 
-  /// Appends a file; returns its entry. Name must be unique.
+  /// Opens a streaming writer for a new file. Name must be unique; only
+  /// one writer may be open at a time (file blocks are consecutive).
+  FileWriter begin_file(const std::string& name);
+
+  /// Appends a fully buffered file; returns its entry. Name must be
+  /// unique. Implemented over begin_file().
   const FileEntry& add_file(const std::string& name, BytesView content);
 
-  /// Reads a file back (repairing blocks as needed — wave-parallel when
-  /// the archive was opened with threads > 1); nullopt if the name is
-  /// unknown or content is irrecoverable.
+  /// Reads a file back (repairing blocks as needed through the codec);
+  /// nullopt if the name is unknown or content is irrecoverable.
   std::optional<Bytes> read_file(const std::string& name);
 
-  /// Global repair + integrity scan. With threads > 1 the repair waves
-  /// run across a worker pool (byte-identical to the serial repair).
+  /// Global repair + integrity scan.
   ScrubReport scrub();
 
   /// Missing blocks right now (damage visible to the index).
@@ -92,29 +162,27 @@ class Archive {
   std::uint64_t inject_damage(double fraction, std::uint64_t seed);
 
  private:
-  Archive(std::filesystem::path root, CodeParams params,
+  friend class FileWriter;
+
+  Archive(std::filesystem::path root, std::shared_ptr<const Codec> codec,
           std::size_t block_size, std::uint64_t resume_count,
-          std::vector<FileEntry> files, std::size_t threads);
+          std::vector<FileEntry> files, std::shared_ptr<Engine> engine);
 
   void save_manifest() const;
 
-  /// The archive's wave-parallel repair engine (threads_ > 1 only),
-  /// created lazily and rebuilt when the lattice has grown since.
-  pipeline::ParallelRepairer& repairer();
-
   std::filesystem::path root_;
-  CodeParams params_;
+  std::shared_ptr<const Codec> codec_;
   std::size_t block_size_;
-  std::size_t threads_;
+  std::shared_ptr<Engine> engine_;
   std::vector<FileEntry> files_;
   std::unique_ptr<FileBlockStore> store_;
-  // threads_ == 1: serial encoder_ straight onto store_.
-  // threads_ > 1: parallel_encoder_ through locked_store_ (FileBlockStore
-  // is not thread-safe on its own). Exactly one encoder is non-null.
+  /// FileBlockStore is not thread-safe on its own; every session access
+  /// goes through this wrapper (uncontended on a 1-thread engine).
   std::unique_ptr<pipeline::LockedBlockStore> locked_store_;
-  std::unique_ptr<Encoder> encoder_;
-  std::unique_ptr<pipeline::ParallelEncoder> parallel_encoder_;
-  std::unique_ptr<pipeline::ParallelRepairer> repairer_;
+  /// The one engine-dispatched encode/repair path (AE lattice pipeline
+  /// or codec stripes — see Engine::open_session).
+  std::unique_ptr<CodecSession> session_;
+  bool writer_open_ = false;
 };
 
 }  // namespace aec::tools

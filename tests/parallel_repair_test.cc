@@ -294,9 +294,10 @@ TEST_P(ParallelRepairerEquivalence, ByteIdenticalToSerialRepairAll) {
 
   // Whatever was repaired matches ground truth.
   for (NodeIndex i = 1; i <= static_cast<NodeIndex>(n); ++i) {
-    if (const auto value = parallel_store.get_copy(BlockKey::data(i)))
+    if (const auto value = parallel_store.get_copy(BlockKey::data(i))) {
       ASSERT_EQ(*value, truth[static_cast<std::size_t>(i - 1)])
           << "node " << i;
+    }
   }
 }
 
