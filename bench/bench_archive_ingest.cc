@@ -1,5 +1,7 @@
 // Archive ingest: streamed (FileWriter windows) vs buffered (add_file
-// with the whole payload in memory), at 1 and 4 engine threads.
+// with the whole payload in memory), at 1 and 4 engine threads, over the
+// classic "file" backend and the "sharded(8)" backend (per-shard locks +
+// batched puts — the storage refactor's ingest-side win at > 1 thread).
 //
 // The streamed path holds at most one ingest window of blocks plus the
 // codec's strand heads, regardless of file size; the buffered path
@@ -11,7 +13,9 @@
 // file is read back and compared chunk-by-chunk against the
 // deterministic source stream (a fast wrong ingest is worthless).
 //
-//   bench_archive_ingest [file_mib] [block_size]   (default 96 4096)
+//   bench_archive_ingest [file_mib] [block_size] [--json]
+//   (default 96 4096; --json emits one JSON object per phase and
+//   suppresses the table — the cross-PR perf-tracking format)
 //
 // NOTE: this container is single-core; thread counts > 1 cannot beat
 // serial here. Run on multicore hardware for real scaling.
@@ -20,6 +24,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
@@ -79,9 +84,10 @@ struct Phase {
   const char* label;
   bool streamed;
   std::size_t threads;
+  const char* store_spec;
 };
 
-int run(std::uint64_t file_mib, std::size_t block_size) {
+int run(std::uint64_t file_mib, std::size_t block_size, bool json) {
   const std::uint64_t total_bytes = file_mib << 20;
   const double mb = static_cast<double>(total_bytes) / (1024.0 * 1024.0);
   const fs::path base =
@@ -89,16 +95,20 @@ int run(std::uint64_t file_mib, std::size_t block_size) {
       ("aec_bench_ingest_" + std::to_string(::getpid()));
   fs::remove_all(base);
 
-  std::printf("archive ingest — %llu MiB file, %zu B blocks, AE(3,2,5)\n",
-              static_cast<unsigned long long>(file_mib), block_size);
-  std::printf("%-26s %10s %12s %14s\n", "phase", "MB/s", "wall s",
-              "peak RSS MiB");
+  if (!json) {
+    std::printf("archive ingest — %llu MiB file, %zu B blocks, AE(3,2,5)\n",
+                static_cast<unsigned long long>(file_mib), block_size);
+    std::printf("%-30s %10s %12s %14s\n", "phase", "MB/s", "wall s",
+                "peak RSS MiB");
+  }
 
   const Phase phases[] = {
-      {"streamed t=1", true, 1},
-      {"streamed t=4", true, 4},
-      {"buffered t=1", false, 1},
-      {"buffered t=4", false, 4},
+      {"streamed file t=1", true, 1, "file"},
+      {"streamed file t=4", true, 4, "file"},
+      {"streamed sharded(8) t=1", true, 1, "sharded(8)"},
+      {"streamed sharded(8) t=4", true, 4, "sharded(8)"},
+      {"buffered file t=1", false, 1, "file"},
+      {"buffered file t=4", false, 4, "file"},
   };
   bool all_ok = true;
   int phase_index = 0;
@@ -106,7 +116,8 @@ int run(std::uint64_t file_mib, std::size_t block_size) {
     const std::uint64_t seed = 77;
     const fs::path root = base / ("phase_" + std::to_string(phase_index++));
     auto archive = Archive::create(root, "AE(3,2,5)", block_size,
-                                   Engine::with_threads(phase.threads));
+                                   Engine::with_threads(phase.threads),
+                                   phase.store_spec);
     const auto start = Clock::now();
     if (phase.streamed) {
       SourceStream source(seed);
@@ -140,8 +151,20 @@ int run(std::uint64_t file_mib, std::size_t block_size) {
 
     const bool ok = verify_file(*archive, "doc", seed, total_bytes);
     all_ok = all_ok && ok;
-    std::printf("%-26s %10.1f %12.2f %14.1f%s\n", phase.label, mb / wall,
-                wall, rss_after_ingest, ok ? "" : "  [BYTE MISMATCH]");
+    if (json) {
+      std::printf(
+          "{\"bench\":\"archive_ingest\",\"phase\":\"%s\","
+          "\"streamed\":%s,\"threads\":%zu,\"store\":\"%s\","
+          "\"file_mib\":%llu,\"block_size\":%zu,\"mb_per_s\":%.1f,"
+          "\"wall_s\":%.3f,\"peak_rss_mib\":%.1f,\"ok\":%s}\n",
+          phase.label, phase.streamed ? "true" : "false", phase.threads,
+          phase.store_spec, static_cast<unsigned long long>(file_mib),
+          block_size, mb / wall, wall, rss_after_ingest,
+          ok ? "true" : "false");
+    } else {
+      std::printf("%-30s %10.1f %12.2f %14.1f%s\n", phase.label, mb / wall,
+                  wall, rss_after_ingest, ok ? "" : "  [BYTE MISMATCH]");
+    }
     archive.reset();
     fs::remove_all(root);  // keep the disk footprint at one phase
   }
@@ -151,16 +174,27 @@ int run(std::uint64_t file_mib, std::size_t block_size) {
     std::printf("\nFAILED: read-back did not match the source stream\n");
     return 1;
   }
-  std::printf("\nself-check OK: all phases byte-identical to the source\n");
+  if (!json)
+    std::printf("\nself-check OK: all phases byte-identical to the source\n");
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0)
+      json = true;
+    else
+      positional.emplace_back(argv[i]);
+  }
   const std::uint64_t file_mib =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 96;
+      positional.size() > 0 ? std::strtoull(positional[0].c_str(), nullptr, 10)
+                            : 96;
   const std::size_t block_size =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4096;
-  return run(file_mib, block_size);
+      positional.size() > 1 ? std::strtoull(positional[1].c_str(), nullptr, 10)
+                            : 4096;
+  return run(file_mib, block_size, json);
 }

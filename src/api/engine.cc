@@ -26,6 +26,10 @@ std::size_t Engine::ingest_window_blocks() const noexcept {
   return 256 * threads();
 }
 
+std::string Engine::store_spec() const {
+  return config_.store_spec.empty() ? "file" : config_.store_spec;
+}
+
 std::unique_ptr<CodecSession> Engine::open_session(
     std::shared_ptr<const Codec> codec, BlockStore* store,
     std::size_t block_size, std::uint64_t resume_blocks) {

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "api/codec.h"
 #include "api/session.h"
@@ -38,6 +39,10 @@ struct EngineConfig {
   /// the session — the peak-memory knob of chunked ingest. 0 = default
   /// (256 blocks per worker, at least 256).
   std::size_t ingest_window_blocks = 0;
+  /// Default block-store backend for archives created through this
+  /// engine ("file", "sharded(8)", "mem", … — see store_registry.h).
+  /// Empty means "file"; an explicit Archive::create store spec wins.
+  std::string store_spec;
 };
 
 class Engine : public std::enable_shared_from_this<Engine> {
@@ -56,6 +61,9 @@ class Engine : public std::enable_shared_from_this<Engine> {
 
   /// Resolved ingest window (blocks) for streaming writers.
   std::size_t ingest_window_blocks() const noexcept;
+
+  /// Resolved default store spec for archives ("file" unless configured).
+  std::string store_spec() const;
 
   /// Builds the session type matching the codec family over this
   /// engine's pool. `codec` is shared with the caller; `store` must

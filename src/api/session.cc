@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <numeric>
 
 #include "common/check.h"
 #include "core/codec/tamper.h"
@@ -38,10 +39,21 @@ void AeSession::append(const std::vector<Bytes>& blocks) {
 
 pipeline::ParallelRepairer& AeSession::repairer() {
   AEC_CHECK_MSG(size() > 0, "repairer(): empty session");
-  if (!repairer_ || repairer_->lattice().n_nodes() != size())
+  if (!repairer_ || repairer_->lattice().n_nodes() != size()) {
     repairer_ = std::make_unique<pipeline::ParallelRepairer>(
         codec_->params(), size(), block_size_, store_, pool_);
+    repairer_->set_availability_index(avail_index_);
+  }
   return *repairer_;
+}
+
+void AeSession::attach_availability_index(const AvailabilityIndex* index) {
+  avail_index_ = index;
+  if (repairer_) repairer_->set_availability_index(index);
+}
+
+bool AeSession::is_expected_key(const BlockKey& key) const {
+  return lattice_expects(codec_->params(), size(), key);
 }
 
 std::optional<Bytes> AeSession::read_block(NodeIndex i) {
@@ -237,9 +249,12 @@ void StripedSession::encode_stripe(std::uint64_t stripe) {
                                          << index + 1 << " missing");
     data.push_back(std::move(*block));
   }
-  const std::vector<Bytes> parities = codec_->encode(data);
+  std::vector<Bytes> parities = codec_->encode(data);
+  std::vector<std::pair<BlockKey, Bytes>> puts;
+  puts.reserve(m_);
   for (std::uint32_t j = 0; j < m_; ++j)
-    store_->put(parity_key(stripe, j), parities[j]);
+    puts.emplace_back(parity_key(stripe, j), std::move(parities[j]));
+  store_->put_batch(std::move(puts));
 }
 
 void StripedSession::append(const std::vector<Bytes>& blocks) {
@@ -264,9 +279,18 @@ void StripedSession::append(const std::vector<Bytes>& blocks) {
     }
   }
 
-  for (std::size_t j = 0; j < blocks.size(); ++j)
-    store_->put(BlockKey::data(static_cast<NodeIndex>(count_ + j) + 1),
-                blocks[j]);
+  // Batched data puts: bounded groups through the store's batch API, so
+  // a sharded store takes each shard lock once per group.
+  constexpr std::size_t kPutBatch = 64;
+  for (std::size_t b = 0; b < blocks.size(); b += kPutBatch) {
+    const std::size_t stop = std::min(b + kPutBatch, blocks.size());
+    std::vector<std::pair<BlockKey, Bytes>> puts;
+    puts.reserve(stop - b);
+    for (std::size_t j = b; j < stop; ++j)
+      puts.emplace_back(BlockKey::data(static_cast<NodeIndex>(count_ + j) + 1),
+                        blocks[j]);
+    store_->put_batch(std::move(puts));
+  }
   count_ += blocks.size();
 
   // Stripes are independent: re-encode every touched stripe across the
@@ -334,9 +358,27 @@ RepairReport StripedSession::repair_all() {
   if (count_ == 0) return report;
   const auto start = std::chrono::steady_clock::now();
 
-  std::vector<StripeOutcome> outcomes(stripes());
-  for (std::uint64_t g = 0; g < outcomes.size(); ++g)
-    pool_->submit([this, &outcomes, g] { outcomes[g] = repair_stripe(g); });
+  // With an availability index attached only the damaged stripes are
+  // visited — O(damage); otherwise every stripe is probed. repair_stripe
+  // is a no-op on intact stripes, so both walks repair identically.
+  std::vector<std::uint64_t> targets;
+  if (avail_index_ != nullptr) {
+    avail_index_->for_each_missing([&](const BlockKey& key) {
+      if (is_expected_key(key)) targets.push_back(stripe_of_key(key));
+    });
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()),
+                  targets.end());
+  } else {
+    targets.resize(stripes());
+    std::iota(targets.begin(), targets.end(), std::uint64_t{0});
+  }
+
+  std::vector<StripeOutcome> outcomes(targets.size());
+  for (std::size_t t = 0; t < targets.size(); ++t)
+    pool_->submit([this, &outcomes, &targets, t] {
+      outcomes[t] = repair_stripe(targets[t]);
+    });
   pool_->wait_idle();
 
   for (const StripeOutcome& outcome : outcomes) {
@@ -352,6 +394,19 @@ RepairReport StripedSession::repair_all() {
   }
   report.wall_seconds = seconds_since(start);
   return report;
+}
+
+bool StripedSession::is_expected_key(const BlockKey& key) const {
+  if (key.index < 1) return false;
+  if (key.is_data())
+    return static_cast<std::uint64_t>(key.index) <= count_;
+  return key.cls == StrandClass::kHorizontal &&
+         static_cast<std::uint64_t>(key.index) <= stripes() * m_;
+}
+
+void StripedSession::attach_availability_index(
+    const AvailabilityIndex* index) {
+  avail_index_ = index;
 }
 
 void StripedSession::for_each_expected_key(

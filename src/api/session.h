@@ -23,6 +23,7 @@
 
 #include "api/codec.h"
 #include "common/bytes.h"
+#include "core/codec/availability_index.h"
 #include "core/codec/block_key.h"
 #include "core/codec/block_store.h"
 #include "core/codec/repair_planner.h"
@@ -72,6 +73,17 @@ class CodecSession {
   virtual void for_each_expected_key(
       const std::function<void(const BlockKey&)>& fn) const = 0;
 
+  /// True when an intact session of the current size would store `key` —
+  /// the membership test matching for_each_expected_key, in O(1).
+  virtual bool is_expected_key(const BlockKey& key) const = 0;
+
+  /// Attaches an incrementally maintained availability index (see
+  /// availability_index.h); repair passes then plan from its missing set
+  /// — O(damage) — instead of scanning the store. Null detaches. The
+  /// caller owns keeping the index consistent with every store mutation
+  /// (Archive wires it as the store's observer and seeds it at open).
+  virtual void attach_availability_index(const AvailabilityIndex* index) = 0;
+
   /// Re-derives redundancy from the present blocks and flags mismatches.
   virtual IntegrityReport verify_integrity() const = 0;
 
@@ -101,6 +113,8 @@ class AeSession final : public CodecSession {
   RepairReport repair_all() override;
   void for_each_expected_key(
       const std::function<void(const BlockKey&)>& fn) const override;
+  bool is_expected_key(const BlockKey& key) const override;
+  void attach_availability_index(const AvailabilityIndex* index) override;
   IntegrityReport verify_integrity() const override;
 
  private:
@@ -112,6 +126,7 @@ class AeSession final : public CodecSession {
   BlockStore* store_;
   std::size_t block_size_;
   pipeline::ThreadPool* pool_;
+  const AvailabilityIndex* avail_index_ = nullptr;
   pipeline::ParallelEncoder encoder_;
   std::unique_ptr<pipeline::ParallelRepairer> repairer_;
 };
@@ -143,6 +158,8 @@ class StripedSession final : public CodecSession {
   RepairReport repair_all() override;
   void for_each_expected_key(
       const std::function<void(const BlockKey&)>& fn) const override;
+  bool is_expected_key(const BlockKey& key) const override;
+  void attach_availability_index(const AvailabilityIndex* index) override;
   IntegrityReport verify_integrity() const override;
 
   std::uint64_t stripes() const noexcept { return (count_ + k_ - 1) / k_; }
@@ -182,10 +199,18 @@ class StripedSession final : public CodecSession {
   /// stripe reports its missing parts as unrecovered instead.
   StripeOutcome repair_stripe(std::uint64_t stripe);
 
+  /// Stripe a key belongs to (valid only for expected keys).
+  std::uint64_t stripe_of_key(const BlockKey& key) const noexcept {
+    return key.is_data()
+               ? static_cast<std::uint64_t>(key.index - 1) / k_
+               : static_cast<std::uint64_t>(key.index - 1) / m_;
+  }
+
   std::shared_ptr<const Codec> codec_;
   BlockStore* store_;
   std::size_t block_size_;
   pipeline::ThreadPool* pool_;
+  const AvailabilityIndex* avail_index_ = nullptr;
   std::uint32_t k_;  // data parts per stripe
   std::uint32_t m_;  // parity parts per stripe
   std::uint64_t count_ = 0;

@@ -1,0 +1,67 @@
+#include "core/codec/availability_index.h"
+
+#include <algorithm>
+
+namespace aec {
+
+bool block_key_order_less(const BlockKey& a, const BlockKey& b) noexcept {
+  if (a.index != b.index) return a.index < b.index;
+  if (a.kind != b.kind) return a.is_data();  // data before parity
+  return static_cast<std::uint8_t>(a.cls) < static_cast<std::uint8_t>(b.cls);
+}
+
+AvailabilityIndex::Stripe& AvailabilityIndex::stripe_of(
+    const BlockKey& key) const noexcept {
+  return stripes_[mixed_block_key_hash(key) % kStripes];
+}
+
+void AvailabilityIndex::on_block(const BlockKey& key, bool present) {
+  Stripe& stripe = stripe_of(key);
+  std::lock_guard lock(stripe.mu);
+  if (present)
+    stripe.missing.erase(key);
+  else
+    stripe.missing.insert(key);
+}
+
+void AvailabilityIndex::clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard lock(stripe.mu);
+    stripe.missing.clear();
+  }
+}
+
+std::uint64_t AvailabilityIndex::missing_count() const {
+  std::uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard lock(stripe.mu);
+    total += stripe.missing.size();
+  }
+  return total;
+}
+
+bool AvailabilityIndex::is_missing(const BlockKey& key) const {
+  const Stripe& stripe = stripe_of(key);
+  std::lock_guard lock(stripe.mu);
+  return stripe.missing.contains(key);
+}
+
+std::vector<BlockKey> AvailabilityIndex::missing_sorted() const {
+  std::vector<BlockKey> keys;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard lock(stripe.mu);
+    keys.insert(keys.end(), stripe.missing.begin(), stripe.missing.end());
+  }
+  std::sort(keys.begin(), keys.end(), block_key_order_less);
+  return keys;
+}
+
+void AvailabilityIndex::for_each_missing(
+    const std::function<void(const BlockKey&)>& fn) const {
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard lock(stripe.mu);
+    for (const BlockKey& key : stripe.missing) fn(key);
+  }
+}
+
+}  // namespace aec

@@ -1,0 +1,78 @@
+// Incremental availability index: the set of blocks known to be missing,
+// maintained from BlockStore mutation notifications (put → present,
+// erase → missing).
+//
+// The paper's repair-cost claim (§V: cost scales with the damaged
+// neighbourhood, not the archive) was undercut by the planner's
+// full-store snapshot: every repair pass re-probed every lattice key.
+// With this index attached as the store's observer, a snapshot is built
+// from the missing set alone — O(damage) — and repairs themselves keep
+// the index current (each repaired put erases its key from the set), so
+// consecutive scrubs of a mostly-healthy archive cost almost nothing.
+//
+// The index only learns what flows through the store API. Damage that
+// bypasses it (files deleted externally, then rescan()) must be reseeded:
+// clear() + mark every expected-but-absent key missing (Archive does this
+// once at open). Keys erased that no lattice expects (e.g. striped-tail
+// orphans) linger in the missing set harmlessly; every consumer filters
+// by its own notion of expected keys.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "core/codec/block_store.h"
+
+namespace aec {
+
+/// Stable block order shared with RepairPlanner's missing-set walk:
+/// ascending index; within one index data before parity; parities in
+/// strand-class order (H, RH, LH). Sorting an unordered missing set with
+/// this comparator reproduces the planner's deterministic step order.
+bool block_key_order_less(const BlockKey& a, const BlockKey& b) noexcept;
+
+class AvailabilityIndex final : public BlockStore::Observer {
+ public:
+  /// Store-observer hook; also the manual seeding entry point.
+  /// Thread-safe.
+  void on_block(const BlockKey& key, bool present) override;
+
+  /// Forgets everything (every block presumed present). Reseed from the
+  /// store afterwards if damage may predate the index.
+  void clear();
+
+  std::uint64_t missing_count() const;
+  bool is_missing(const BlockKey& key) const;
+
+  /// Missing keys in stable block order (see block_key_order_less).
+  std::vector<BlockKey> missing_sorted() const;
+
+  /// Visits every missing key, unordered. The callback runs under the
+  /// index's stripe locks: keep it cheap and do not reenter the index or
+  /// mutate an observed store from it. Concurrent mutators may slip
+  /// between stripes; quiesce them first for an exact snapshot.
+  void for_each_missing(
+      const std::function<void(const BlockKey&)>& fn) const;
+
+ private:
+  /// Striped like the sharded stores that feed it: notify() fires while
+  /// a shard lock is held, so a single index mutex would re-serialize
+  /// every parallel put across shards. Key-hashed stripes keep the
+  /// observer contention as local as the store's.
+  static constexpr std::size_t kStripes = 16;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_set<BlockKey, BlockKeyHash> missing;
+  };
+
+  Stripe& stripe_of(const BlockKey& key) const noexcept;
+
+  mutable std::array<Stripe, kStripes> stripes_;
+};
+
+}  // namespace aec

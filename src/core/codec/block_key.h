@@ -40,6 +40,34 @@ struct BlockKeyHash {
   }
 };
 
+/// BlockKeyHash run through a murmur finalizer — the shard/stripe picker
+/// used by every striped structure (ConcurrentBlockStore,
+/// ShardedFileBlockStore, AvailabilityIndex). BlockKeyHash keeps the
+/// index in the high bits; the re-mix makes adjacent lattice indices
+/// land on different shards.
+inline std::size_t mixed_block_key_hash(const BlockKey& k) noexcept {
+  std::size_t h = BlockKeyHash{}(k);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// True when an (open) lattice of `n_nodes` nodes under `params` stores
+/// `key`: data or parity at an in-range index, parity class among the
+/// code's classes. The single membership predicate shared by the repair
+/// planner's index filtering and the sessions' is_expected_key — one
+/// rule, so the O(damage) and scanning paths cannot drift apart.
+inline bool lattice_expects(const CodeParams& params, std::uint64_t n_nodes,
+                            const BlockKey& key) noexcept {
+  if (key.index < 1 || static_cast<std::uint64_t>(key.index) > n_nodes)
+    return false;
+  if (key.is_data()) return true;
+  for (StrandClass cls : params.classes())
+    if (cls == key.cls) return true;
+  return false;
+}
+
 /// "d26", "p(H,21)" — debugging / logging aid.
 inline std::string to_string(const BlockKey& k) {
   if (k.is_data()) {

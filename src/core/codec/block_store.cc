@@ -8,8 +8,21 @@ std::optional<Bytes> BlockStore::get_copy(const BlockKey& key) const {
   return *value;
 }
 
+std::vector<std::optional<Bytes>> BlockStore::get_batch(
+    const std::vector<BlockKey>& keys) const {
+  std::vector<std::optional<Bytes>> payloads;
+  payloads.reserve(keys.size());
+  for (const BlockKey& key : keys) payloads.push_back(get_copy(key));
+  return payloads;
+}
+
+void BlockStore::put_batch(std::vector<std::pair<BlockKey, Bytes>> items) {
+  for (auto& [key, value] : items) put(key, std::move(value));
+}
+
 void InMemoryBlockStore::put(const BlockKey& key, Bytes value) {
   blocks_[key] = std::move(value);
+  notify(key, true);
 }
 
 const Bytes* InMemoryBlockStore::find(const BlockKey& key) const {
@@ -22,7 +35,9 @@ bool InMemoryBlockStore::contains(const BlockKey& key) const {
 }
 
 bool InMemoryBlockStore::erase(const BlockKey& key) {
-  return blocks_.erase(key) > 0;
+  if (blocks_.erase(key) == 0) return false;
+  notify(key, false);
+  return true;
 }
 
 std::uint64_t InMemoryBlockStore::size() const { return blocks_.size(); }

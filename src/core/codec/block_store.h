@@ -1,13 +1,17 @@
 // Block storage abstraction. The codec is storage-agnostic (paper §III-B
 // "Implementation Details": client-, middleware- or backend-based); the
 // library ships an in-memory implementation that also supports fault
-// injection for tests, examples and simulations.
+// injection for tests, examples and simulations. Durable backends
+// (FileBlockStore, ShardedFileBlockStore) live in their own headers and
+// are constructed by name through the StoreRegistry.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 #include "core/codec/block_key.h"
@@ -17,6 +21,17 @@ namespace aec {
 /// Abstract key→block store.
 class BlockStore {
  public:
+  /// Presence-mutation observer: put() reports (key, true), a successful
+  /// erase() reports (key, false). Thread-safe stores fire it under their
+  /// internal key lock, so notifications for one key arrive in mutation
+  /// order; the observer must itself be safe to call from every thread
+  /// that mutates the store and must not reenter the store.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    virtual void on_block(const BlockKey& key, bool present) = 0;
+  };
+
   virtual ~BlockStore() = default;
 
   /// Inserts or overwrites a block.
@@ -39,6 +54,44 @@ class BlockStore {
   /// own synchronization, which is what lets parallel repair workers read
   /// while other workers write.
   virtual std::optional<Bytes> get_copy(const BlockKey& key) const;
+
+  /// Batch read: one payload (or nullopt) per key, in key order.
+  /// Equivalent to get_copy() per key; stores with internal sharding
+  /// override it to group the keys per shard and amortize lock/IO round
+  /// trips. Duplicate keys are allowed and resolved independently.
+  virtual std::vector<std::optional<Bytes>> get_batch(
+      const std::vector<BlockKey>& keys) const;
+
+  /// Batch write, equivalent to put() per item in order. Sharded stores
+  /// override it to take each shard lock once per batch.
+  virtual void put_batch(std::vector<std::pair<BlockKey, Bytes>> items);
+
+  /// True when put/get_copy/get_batch/contains/erase/size are safe to
+  /// call concurrently. Stores answering false go behind a
+  /// pipeline::LockedBlockStore before parallel sessions touch them.
+  virtual bool thread_safe() const noexcept { return false; }
+
+  /// Drops any payload cache the store keeps (presence metadata stays).
+  /// No-op for stores without one; memory-conscious streaming ingest
+  /// calls this between windows.
+  virtual void drop_payload_cache() const {}
+
+  /// Registers (or, with nullptr, clears) the mutation observer. Wrapper
+  /// stores forward to their delegate so each mutation notifies exactly
+  /// once (and answer observer() from the delegate too). Set it while no
+  /// mutation is in flight.
+  virtual void set_observer(Observer* observer) { observer_ = observer; }
+  virtual Observer* observer() const { return observer_; }
+
+ protected:
+  /// Implementations call this from put()/erase() (under their key lock,
+  /// when they have one).
+  void notify(const BlockKey& key, bool present) const {
+    if (observer_ != nullptr) observer_->on_block(key, present);
+  }
+
+ private:
+  Observer* observer_ = nullptr;
 };
 
 /// Hash-map backed store.

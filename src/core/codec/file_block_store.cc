@@ -54,6 +54,7 @@ void FileBlockStore::put(const BlockKey& key, Bytes value) {
   AEC_CHECK_MSG(out.good(), "short write to " << path.string());
   index_[key] = true;
   cache_[key] = std::move(value);
+  notify(key, true);
 }
 
 const Bytes* FileBlockStore::find(const BlockKey& key) const {
@@ -80,6 +81,7 @@ bool FileBlockStore::erase(const BlockKey& key) {
   if (index_.erase(key) == 0) return false;
   std::error_code ec;
   fs::remove(path_of(key), ec);
+  notify(key, false);
   return true;
 }
 

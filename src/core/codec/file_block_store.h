@@ -35,8 +35,11 @@ class FileBlockStore final : public BlockStore {
   /// Drops the payload cache (the index stays). Mostly for tests and
   /// memory-conscious batch jobs.
   void drop_cache() const;
+  void drop_payload_cache() const override { drop_cache(); }
 
   /// Re-scans the directory tree (picks up external additions/removals).
+  /// The observer is not notified of the diff; reseed any availability
+  /// index afterwards.
   void rescan();
 
   /// Filesystem path of a block.

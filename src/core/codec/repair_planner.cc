@@ -7,10 +7,18 @@
 
 #include "common/check.h"
 #include "common/xor_engine.h"
+#include "core/codec/availability_index.h"
 
 namespace aec {
 
 namespace {
+
+/// Availability-index entries outside the lattice's key set — striped-
+/// tail orphans, foreign key spaces — must not reach an AvailabilityMap,
+/// whose storage is lattice-sized.
+bool in_lattice(const Lattice& lat, const BlockKey& key) {
+  return lattice_expects(lat.params(), lat.n_nodes(), key);
+}
 
 // Lazy availability view over a live store: presence is probed on first
 // touch and memoized, plan-time repairs shadow the store. Gives the
@@ -168,6 +176,24 @@ RepairPlanner::RepairPlanner(const Lattice* lattice) : lattice_(lattice) {
   AEC_CHECK_MSG(lattice_ != nullptr, "planner needs a lattice");
 }
 
+AvailabilityMap RepairPlanner::snapshot(
+    const AvailabilityIndex& index) const {
+  AvailabilityMap avail(lattice_->params(), lattice_->n_nodes());
+  index.for_each_missing([&](const BlockKey& key) {
+    if (in_lattice(*lattice_, key)) avail.set(key, false);
+  });
+  return avail;
+}
+
+std::vector<BlockKey> RepairPlanner::missing_in_lattice(
+    const AvailabilityIndex& index) const {
+  std::vector<BlockKey> missing = index.missing_sorted();
+  std::erase_if(missing, [&](const BlockKey& key) {
+    return !in_lattice(*lattice_, key);
+  });
+  return missing;
+}
+
 AvailabilityMap RepairPlanner::snapshot(const BlockStore& store) const {
   AvailabilityMap avail(lattice_->params(), lattice_->n_nodes());
   const auto n = static_cast<NodeIndex>(lattice_->n_nodes());
@@ -211,6 +237,14 @@ RepairPlan RepairPlanner::plan(AvailabilityMap& avail, RepairPolicy policy,
       if (!avail.ok(pk)) missing.push_back(pk);
     }
   }
+  return plan_waves(*lattice_, avail, std::move(missing), policy,
+                    max_rounds, 0);
+}
+
+RepairPlan RepairPlanner::plan_missing(AvailabilityMap& avail,
+                                       std::vector<BlockKey> missing,
+                                       RepairPolicy policy,
+                                       std::uint32_t max_rounds) const {
   return plan_waves(*lattice_, avail, std::move(missing), policy,
                     max_rounds, 0);
 }
@@ -284,10 +318,30 @@ RepairReport execute_repair_plan(
     const RepairPlanner& planner, const BlockStore& store,
     std::uint32_t max_rounds,
     const std::function<void(const std::vector<RepairStep>&)>& run_wave) {
+  return execute_repair_plan(planner, store, nullptr, max_rounds, run_wave);
+}
+
+RepairReport execute_repair_plan(
+    const RepairPlanner& planner, const BlockStore& store,
+    const AvailabilityIndex* index, std::uint32_t max_rounds,
+    const std::function<void(const std::vector<RepairStep>&)>& run_wave) {
   const auto start = std::chrono::steady_clock::now();
-  AvailabilityMap avail = planner.snapshot(store);
-  const RepairPlan plan =
-      planner.plan(avail, RepairPolicy::kFull, max_rounds);
+  RepairPlan plan;
+  if (index != nullptr) {
+    // O(damage): the index already knows the missing set, and its stable
+    // sort matches the scanning walk's order, so the waves are identical.
+    // One index walk — map and missing list derive from the same read,
+    // so a concurrent mutation cannot make them disagree.
+    std::vector<BlockKey> missing = planner.missing_in_lattice(*index);
+    AvailabilityMap avail(planner.lattice().params(),
+                          planner.lattice().n_nodes());
+    for (const BlockKey& key : missing) avail.set(key, false);
+    plan = planner.plan_missing(avail, std::move(missing),
+                                RepairPolicy::kFull, max_rounds);
+  } else {
+    AvailabilityMap avail = planner.snapshot(store);
+    plan = planner.plan(avail, RepairPolicy::kFull, max_rounds);
+  }
   for (const std::vector<RepairStep>& wave : plan.waves) run_wave(wave);
   RepairReport report = report_from_plan(plan);
   report.wall_seconds =

@@ -34,6 +34,8 @@
 
 namespace aec {
 
+class AvailabilityIndex;
+
 /// Which parities a repair pass regenerates (paper §V-C-2).
 enum class RepairPolicy {
   kFull,     ///< repair every recoverable block
@@ -139,8 +141,21 @@ class RepairPlanner {
 
   const Lattice& lattice() const noexcept { return *lattice_; }
 
-  /// Availability snapshot of a byte store holding this lattice.
+  /// Availability snapshot of a byte store holding this lattice: one
+  /// contains() probe per lattice block — O(lattice).
   AvailabilityMap snapshot(const BlockStore& store) const;
+
+  /// Snapshot from an incrementally maintained AvailabilityIndex:
+  /// everything presumed present, then the index's missing set applied —
+  /// O(damage), no store probes. Index entries outside this lattice
+  /// (orphans, other key spaces) are ignored.
+  AvailabilityMap snapshot(const AvailabilityIndex& index) const;
+
+  /// The index's missing keys restricted to this lattice, in the stable
+  /// block order plan() uses — the ready-made `missing` argument for
+  /// plan_missing().
+  std::vector<BlockKey> missing_in_lattice(
+      const AvailabilityIndex& index) const;
 
   // --- availability-only repairability predicates ---------------------------
 
@@ -163,6 +178,17 @@ class RepairPlanner {
   RepairPlan plan(AvailabilityMap& avail,
                   RepairPolicy policy = RepairPolicy::kFull,
                   std::uint32_t max_rounds = 0) const;
+
+  /// plan() with the missing set handed in instead of collected by a full
+  /// lattice walk — O(|missing| · rounds), the hot path when an
+  /// AvailabilityIndex already knows the damage. `missing` must list
+  /// exactly the blocks `avail` marks absent, in the stable block order
+  /// (ascending index; data before parity; strand-class order) that makes
+  /// the waves identical to plan()'s.
+  RepairPlan plan_missing(AvailabilityMap& avail,
+                          std::vector<BlockKey> missing,
+                          RepairPolicy policy = RepairPolicy::kFull,
+                          std::uint32_t max_rounds = 0) const;
 
   /// Radius-scoped query for the read path (paper Fig 2): plans over an
   /// expanding BFS neighbourhood of `target`, growing the radius only
@@ -195,6 +221,16 @@ class RepairPlanner {
 RepairReport execute_repair_plan(
     const RepairPlanner& planner, const BlockStore& store,
     std::uint32_t max_rounds,
+    const std::function<void(const std::vector<RepairStep>&)>& run_wave);
+
+/// Same flow planned from an AvailabilityIndex when one is attached
+/// (`index` non-null): snapshot and missing set come from the index —
+/// O(damage) — instead of a full store scan. Null `index` falls back to
+/// the scanning overload. The plans (and therefore the executed bytes,
+/// waves and residue) are identical either way.
+RepairReport execute_repair_plan(
+    const RepairPlanner& planner, const BlockStore& store,
+    const AvailabilityIndex* index, std::uint32_t max_rounds,
     const std::function<void(const std::vector<RepairStep>&)>& run_wave);
 
 /// The two blocks a planned step XORs. `input` is nullopt at an

@@ -1,0 +1,225 @@
+#include "core/codec/sharded_file_block_store.h"
+
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace aec {
+
+namespace fs = std::filesystem;
+
+struct ShardedFileBlockStore::Shard {
+  mutable std::mutex mu;
+  fs::path dir;
+  std::unordered_map<BlockKey, bool, BlockKeyHash> index;
+  mutable std::unordered_map<BlockKey, Bytes, BlockKeyHash> cache;
+};
+
+namespace {
+
+constexpr const char* kShardCountFile = "shards.txt";
+
+std::size_t pinned_shard_count(const fs::path& root, std::size_t requested) {
+  const fs::path marker = root / kShardCountFile;
+  if (std::ifstream in(marker); in.good()) {
+    std::size_t pinned = 0;
+    in >> pinned;
+    AEC_CHECK_MSG(!in.fail() && pinned >= 1,
+                  "corrupt shard-count marker " << marker.string());
+    return pinned;
+  }
+  std::ofstream out(marker, std::ios::trunc);
+  out << requested << "\n";
+  AEC_CHECK_MSG(out.good(), "cannot write " << marker.string());
+  return requested;
+}
+
+}  // namespace
+
+ShardedFileBlockStore::ShardedFileBlockStore(fs::path root,
+                                             std::size_t shards)
+    : root_(std::move(root)) {
+  AEC_CHECK_MSG(shards >= 1, "sharded store needs at least one shard");
+  fs::create_directories(root_);
+  const std::size_t count = pinned_shard_count(root_, shards);
+  shards_.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    auto shard = std::make_unique<Shard>();
+    shard->dir = root_ / ("shard" + std::to_string(k));
+    fs::create_directories(shard->dir / "d");
+    for (const char* cls : {"H", "RH", "LH"})
+      fs::create_directories(shard->dir / "p" / cls);
+    shards_.push_back(std::move(shard));
+  }
+  rescan();
+}
+
+ShardedFileBlockStore::~ShardedFileBlockStore() = default;
+
+std::size_t ShardedFileBlockStore::shard_index(
+    const BlockKey& key) const noexcept {
+  return mixed_block_key_hash(key) % shards_.size();
+}
+
+ShardedFileBlockStore::Shard& ShardedFileBlockStore::shard_of(
+    const BlockKey& key) const noexcept {
+  return *shards_[shard_index(key)];
+}
+
+fs::path ShardedFileBlockStore::path_of(const BlockKey& key) const {
+  const Shard& shard = *shards_[shard_index(key)];
+  if (key.is_data()) return shard.dir / "d" / std::to_string(key.index);
+  return shard.dir / "p" / to_string(key.cls) / std::to_string(key.index);
+}
+
+void ShardedFileBlockStore::rescan() {
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard lock(shard.mu);
+    shard.index.clear();
+    shard.cache.clear();
+    const auto scan_dir = [&](const fs::path& dir, BlockKey::Kind kind,
+                              StrandClass cls) {
+      if (!fs::exists(dir)) return;
+      for (const auto& entry : fs::directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        char* end = nullptr;
+        const long long idx =
+            std::strtoll(entry.path().filename().c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || idx <= 0) continue;  // foreign
+        shard.index[BlockKey{kind, cls, idx}] = true;
+      }
+    };
+    scan_dir(shard.dir / "d", BlockKey::Kind::kData,
+             StrandClass::kHorizontal);
+    scan_dir(shard.dir / "p" / "H", BlockKey::Kind::kParity,
+             StrandClass::kHorizontal);
+    scan_dir(shard.dir / "p" / "RH", BlockKey::Kind::kParity,
+             StrandClass::kRightHanded);
+    scan_dir(shard.dir / "p" / "LH", BlockKey::Kind::kParity,
+             StrandClass::kLeftHanded);
+  }
+}
+
+void ShardedFileBlockStore::put_locked(Shard& shard, const BlockKey& key,
+                                       Bytes value) {
+  const fs::path path = path_of(key);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  AEC_CHECK_MSG(out.good(), "cannot write " << path.string());
+  out.write(reinterpret_cast<const char*>(value.data()),
+            static_cast<std::streamsize>(value.size()));
+  out.close();
+  AEC_CHECK_MSG(out.good(), "short write to " << path.string());
+  shard.index[key] = true;
+  shard.cache[key] = std::move(value);
+  notify(key, true);
+}
+
+void ShardedFileBlockStore::put(const BlockKey& key, Bytes value) {
+  Shard& shard = shard_of(key);
+  std::lock_guard lock(shard.mu);
+  put_locked(shard, key, std::move(value));
+}
+
+void ShardedFileBlockStore::put_batch(
+    std::vector<std::pair<BlockKey, Bytes>> items) {
+  // One lock acquisition per touched shard: bucket item offsets by shard
+  // first, then drain shard by shard.
+  std::vector<std::vector<std::size_t>> buckets(shards_.size());
+  for (std::size_t j = 0; j < items.size(); ++j)
+    buckets[shard_index(items[j].first)].push_back(j);
+  for (std::size_t k = 0; k < buckets.size(); ++k) {
+    if (buckets[k].empty()) continue;
+    Shard& shard = *shards_[k];
+    std::lock_guard lock(shard.mu);
+    for (const std::size_t j : buckets[k])
+      put_locked(shard, items[j].first, std::move(items[j].second));
+  }
+}
+
+const Bytes* ShardedFileBlockStore::resolve_locked(
+    Shard& shard, const BlockKey& key) const {
+  if (!shard.index.contains(key)) return nullptr;
+  if (const auto it = shard.cache.find(key); it != shard.cache.end())
+    return &it->second;
+  std::ifstream in(path_of(key), std::ios::binary | std::ios::ate);
+  if (!in.good()) return nullptr;  // deleted externally
+  const std::streamsize bytes = in.tellg();
+  in.seekg(0);
+  Bytes payload(static_cast<std::size_t>(bytes));
+  in.read(reinterpret_cast<char*>(payload.data()), bytes);
+  if (!in.good()) return nullptr;
+  const auto [it, inserted] = shard.cache.emplace(key, std::move(payload));
+  return &it->second;
+}
+
+const Bytes* ShardedFileBlockStore::find(const BlockKey& key) const {
+  Shard& shard = shard_of(key);
+  std::lock_guard lock(shard.mu);
+  // Node-map mapped references survive rehash, so the pointer stays
+  // valid after unlock until this key mutates or the cache drops.
+  return resolve_locked(shard, key);
+}
+
+bool ShardedFileBlockStore::contains(const BlockKey& key) const {
+  Shard& shard = shard_of(key);
+  std::lock_guard lock(shard.mu);
+  return shard.index.contains(key);
+}
+
+bool ShardedFileBlockStore::erase(const BlockKey& key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard lock(shard.mu);
+  shard.cache.erase(key);
+  if (shard.index.erase(key) == 0) return false;
+  std::error_code ec;
+  fs::remove(path_of(key), ec);
+  notify(key, false);
+  return true;
+}
+
+std::uint64_t ShardedFileBlockStore::size() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    total += shard->index.size();
+  }
+  return total;
+}
+
+std::optional<Bytes> ShardedFileBlockStore::get_copy(
+    const BlockKey& key) const {
+  Shard& shard = shard_of(key);
+  std::lock_guard lock(shard.mu);
+  const Bytes* value = resolve_locked(shard, key);
+  if (value == nullptr) return std::nullopt;
+  return *value;
+}
+
+std::vector<std::optional<Bytes>> ShardedFileBlockStore::get_batch(
+    const std::vector<BlockKey>& keys) const {
+  std::vector<std::optional<Bytes>> payloads(keys.size());
+  std::vector<std::vector<std::size_t>> buckets(shards_.size());
+  for (std::size_t j = 0; j < keys.size(); ++j)
+    buckets[shard_index(keys[j])].push_back(j);
+  for (std::size_t k = 0; k < buckets.size(); ++k) {
+    if (buckets[k].empty()) continue;
+    Shard& shard = *shards_[k];
+    std::lock_guard lock(shard.mu);
+    for (const std::size_t j : buckets[k])
+      if (const Bytes* value = resolve_locked(shard, keys[j]))
+        payloads[j] = *value;
+  }
+  return payloads;
+}
+
+void ShardedFileBlockStore::drop_payload_cache() const {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    shard->cache.clear();
+  }
+}
+
+}  // namespace aec

@@ -1,0 +1,114 @@
+#include "core/codec/store_registry.h"
+
+#include <cctype>
+
+#include "common/check.h"
+#include "core/codec/file_block_store.h"
+#include "core/codec/sharded_file_block_store.h"
+
+namespace aec {
+
+StoreSpec parse_store_spec(const std::string& spec) {
+  StoreSpec out;
+  const std::size_t open = spec.find('(');
+  if (open == std::string::npos) {
+    out.family = spec;  // bare family: "file", "mem"
+  } else {
+    AEC_CHECK_MSG(open > 0 && spec.back() == ')' && open + 1 < spec.size(),
+                  "store spec '" << spec
+                                 << "' must look like FAMILY or "
+                                    "FAMILY(arg,…)");
+    out.family = spec.substr(0, open);
+    const std::string body = spec.substr(open + 1, spec.size() - open - 2);
+    std::size_t begin = 0;
+    while (begin <= body.size()) {
+      const std::size_t comma = std::min(body.find(',', begin), body.size());
+      const std::string token = body.substr(begin, comma - begin);
+      AEC_CHECK_MSG(!token.empty() && token.size() <= 9 &&
+                        token.find_first_not_of("0123456789") ==
+                            std::string::npos,
+                    "store spec '" << spec << "': bad argument '" << token
+                                   << "'");
+      out.args.push_back(std::stoull(token));
+      begin = comma + 1;
+    }
+  }
+  AEC_CHECK_MSG(!out.family.empty(), "empty store spec");
+  for (const char c : out.family)
+    AEC_CHECK_MSG(std::isalnum(static_cast<unsigned char>(c)) != 0,
+                  "store spec '" << spec << "': bad family name");
+  return out;
+}
+
+StoreRegistry::StoreRegistry() {
+  register_family(
+      "mem",
+      [](const StoreSpec& spec,
+         const std::filesystem::path&) -> std::unique_ptr<BlockStore> {
+        AEC_CHECK_MSG(spec.args.empty(), "mem store takes no arguments");
+        return std::make_unique<InMemoryBlockStore>();
+      });
+  register_family(
+      "file",
+      [](const StoreSpec& spec,
+         const std::filesystem::path& root) -> std::unique_ptr<BlockStore> {
+        AEC_CHECK_MSG(spec.args.empty(), "file store takes no arguments");
+        return std::make_unique<FileBlockStore>(root);
+      });
+  register_family(
+      "sharded",
+      [](const StoreSpec& spec,
+         const std::filesystem::path& root) -> std::unique_ptr<BlockStore> {
+        AEC_CHECK_MSG(spec.args.size() <= 1,
+                      "sharded store wants sharded or sharded(N)");
+        const std::uint64_t shards =
+            spec.args.empty() ? ShardedFileBlockStore::kDefaultShards
+                              : spec.args[0];
+        AEC_CHECK_MSG(shards >= 1 && shards <= 4096,
+                      "sharded store wants 1..4096 shards, got " << shards);
+        return std::make_unique<ShardedFileBlockStore>(
+            root, static_cast<std::size_t>(shards));
+      });
+}
+
+StoreRegistry& StoreRegistry::instance() {
+  static StoreRegistry registry;
+  return registry;
+}
+
+void StoreRegistry::register_family(const std::string& family,
+                                    Factory factory) {
+  AEC_CHECK_MSG(!family.empty(), "store family name must not be empty");
+  AEC_CHECK_MSG(factory != nullptr, "store factory must not be null");
+  factories_[family] = std::move(factory);
+}
+
+bool StoreRegistry::has_family(const std::string& family) const {
+  return factories_.contains(family);
+}
+
+std::vector<std::string> StoreRegistry::families() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<BlockStore> StoreRegistry::make(
+    const std::string& spec, const std::filesystem::path& root) const {
+  const StoreSpec parsed = parse_store_spec(spec);
+  const auto it = factories_.find(parsed.family);
+  AEC_CHECK_MSG(it != factories_.end(), "unknown store family '"
+                                            << parsed.family << "' in '"
+                                            << spec << "'");
+  auto store = it->second(parsed, root);
+  AEC_CHECK(store != nullptr);
+  return store;
+}
+
+std::unique_ptr<BlockStore> make_store(const std::string& spec,
+                                       const std::filesystem::path& root) {
+  return StoreRegistry::instance().make(spec, root);
+}
+
+}  // namespace aec

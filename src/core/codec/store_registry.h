@@ -1,0 +1,69 @@
+// String-keyed block-store factory — the storage-side mirror of the
+// CodecRegistry. An archive records its backend as a spec string in the
+// manifest ("file", "sharded(8)", "mem") exactly as it records its codec,
+// so open() rebuilds the same layout it was created with, and aectool's
+// --store flag reaches every registered backend without new code.
+//
+// Built-in families:
+//   mem        — InMemoryBlockStore (ephemeral; tests and simulations)
+//   file       — FileBlockStore (one flat directory tree, single-threaded;
+//                Archive wraps it in a LockedBlockStore when parallel)
+//   sharded(N) — ShardedFileBlockStore with N directory shards, natively
+//                thread-safe (the default N is kDefaultShards when the
+//                argument is omitted: "sharded")
+//
+// register_family() adds or replaces a backend (custom stores slot in
+// the same way custom codec families do).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/codec/block_store.h"
+
+namespace aec {
+
+/// Parsed "family" or "family(arg,arg,…)" store spec.
+struct StoreSpec {
+  std::string family;
+  std::vector<std::uint64_t> args;
+};
+
+/// Splits a spec string; throws CheckError on syntax errors (unbalanced
+/// parentheses, empty/non-numeric arguments, trailing junk).
+StoreSpec parse_store_spec(const std::string& spec);
+
+class StoreRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<BlockStore>(
+      const StoreSpec& spec, const std::filesystem::path& root)>;
+
+  /// The process-wide registry.
+  static StoreRegistry& instance();
+
+  void register_family(const std::string& family, Factory factory);
+  bool has_family(const std::string& family) const;
+  std::vector<std::string> families() const;
+
+  /// Parses `spec` and builds the backend rooted at `root` (durable
+  /// families create their directories there; "mem" ignores it). Throws
+  /// CheckError on unknown families or invalid parameters.
+  std::unique_ptr<BlockStore> make(const std::string& spec,
+                                   const std::filesystem::path& root) const;
+
+ private:
+  StoreRegistry();
+
+  std::map<std::string, Factory> factories_;
+};
+
+/// Shorthand for StoreRegistry::instance().make(spec, root).
+std::unique_ptr<BlockStore> make_store(const std::string& spec,
+                                       const std::filesystem::path& root);
+
+}  // namespace aec

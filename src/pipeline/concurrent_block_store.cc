@@ -32,19 +32,14 @@ ConcurrentBlockStore::~ConcurrentBlockStore() = default;
 
 ConcurrentBlockStore::Stripe& ConcurrentBlockStore::stripe_of(
     const BlockKey& key) const noexcept {
-  // Re-mix the key hash: BlockKeyHash keeps the index in the high bits,
-  // and adjacent indices must land on different stripes.
-  std::size_t h = BlockKeyHash{}(key);
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  return *stripes_[h & mask_];
+  return *stripes_[mixed_block_key_hash(key) & mask_];
 }
 
 void ConcurrentBlockStore::put(const BlockKey& key, Bytes value) {
   Stripe& stripe = stripe_of(key);
   std::lock_guard lock(stripe.mu);
   stripe.blocks[key] = std::move(value);
+  notify(key, true);
 }
 
 const Bytes* ConcurrentBlockStore::find(const BlockKey& key) const {
@@ -63,7 +58,9 @@ bool ConcurrentBlockStore::contains(const BlockKey& key) const {
 bool ConcurrentBlockStore::erase(const BlockKey& key) {
   Stripe& stripe = stripe_of(key);
   std::lock_guard lock(stripe.mu);
-  return stripe.blocks.erase(key) > 0;
+  if (stripe.blocks.erase(key) == 0) return false;
+  notify(key, false);
+  return true;
 }
 
 std::uint64_t ConcurrentBlockStore::size() const {
@@ -127,6 +124,40 @@ std::optional<Bytes> LockedBlockStore::get_copy(const BlockKey& key) const {
   const Bytes* value = delegate_->find(key);
   if (value == nullptr) return std::nullopt;
   return *value;
+}
+
+std::vector<std::optional<Bytes>> LockedBlockStore::get_batch(
+    const std::vector<BlockKey>& keys) const {
+  std::lock_guard lock(mu_);
+  std::vector<std::optional<Bytes>> payloads;
+  payloads.reserve(keys.size());
+  for (const BlockKey& key : keys) {
+    const Bytes* value = delegate_->find(key);
+    payloads.push_back(value == nullptr ? std::nullopt
+                                        : std::optional<Bytes>(*value));
+  }
+  return payloads;
+}
+
+void LockedBlockStore::put_batch(
+    std::vector<std::pair<BlockKey, Bytes>> items) {
+  std::lock_guard lock(mu_);
+  for (auto& [key, value] : items) delegate_->put(key, std::move(value));
+}
+
+void LockedBlockStore::drop_payload_cache() const {
+  std::lock_guard lock(mu_);
+  delegate_->drop_payload_cache();
+}
+
+void LockedBlockStore::set_observer(Observer* observer) {
+  std::lock_guard lock(mu_);
+  delegate_->set_observer(observer);
+}
+
+BlockStore::Observer* LockedBlockStore::observer() const {
+  std::lock_guard lock(mu_);
+  return delegate_->observer();
 }
 
 }  // namespace aec::pipeline

@@ -42,6 +42,7 @@ class ConcurrentBlockStore final : public BlockStore {
   /// Copies the payload out under the stripe lock — the fully
   /// concurrent-safe read (find()'s pointer can outlive the lock).
   std::optional<Bytes> get_copy(const BlockKey& key) const override;
+  bool thread_safe() const noexcept override { return true; }
 
   /// Visits every stored pair, one stripe at a time. The callback must
   /// not reenter the store. Concurrent writers may slip between stripes;
@@ -73,6 +74,17 @@ class LockedBlockStore final : public BlockStore {
   /// Copies under the wrapper mutex — safe against concurrent put():
   /// this is the read pipeline workers must use.
   std::optional<Bytes> get_copy(const BlockKey& key) const override;
+  /// One lock acquisition for the whole batch (instead of one per key).
+  std::vector<std::optional<Bytes>> get_batch(
+      const std::vector<BlockKey>& keys) const override;
+  void put_batch(std::vector<std::pair<BlockKey, Bytes>> items) override;
+  bool thread_safe() const noexcept override { return true; }
+  void drop_payload_cache() const override;
+  /// Observation happens at the delegate (where the mutation lands), so
+  /// each put/erase notifies exactly once; observer() reads back from
+  /// the delegate accordingly.
+  void set_observer(Observer* observer) override;
+  Observer* observer() const override;
 
   BlockStore* delegate() const noexcept { return delegate_; }
 

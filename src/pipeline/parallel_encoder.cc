@@ -64,14 +64,19 @@ EncodeResult ParallelEncoder::seal_node(const Lattice& lat, NodeIndex i,
                                         BytesView data) {
   EncodeResult result;
   result.index = i;
+  // One batched write per node (α parities + the data block): a sharded
+  // store takes each touched shard lock once instead of α+1 times.
+  std::vector<std::pair<BlockKey, Bytes>> puts;
+  puts.reserve(params_.classes().size() + 1);
   for (StrandClass cls : params_.classes()) {
     Bytes& head = head_slot(cls, lat.strand_id(i, cls));
     xor_into(head, data);  // p_{i,j} = d_i XOR p_{h,i}, advancing the head
     const Edge out = lat.output_edge(i, cls);
-    store_->put(BlockKey::parity(out), head);  // put() copies the head
+    puts.emplace_back(BlockKey::parity(out), head);  // copies the head
     result.parities.push_back(out);
   }
-  store_->put(BlockKey::data(i), Bytes(data.begin(), data.end()));
+  puts.emplace_back(BlockKey::data(i), Bytes(data.begin(), data.end()));
+  store_->put_batch(std::move(puts));
   return result;
 }
 
@@ -128,15 +133,25 @@ void ParallelEncoder::append_strand_scheduled(
       if (bucket.empty()) continue;
       pool_->submit([this, &lat, &blocks, &results, &bucket, cls, slot,
                     first] {
+        // Parity puts flushed in bounded batches: fewer store lock
+        // round trips, at most kPutBatch head copies buffered.
+        constexpr std::size_t kPutBatch = 64;
+        std::vector<std::pair<BlockKey, Bytes>> puts;
+        puts.reserve(std::min<std::size_t>(bucket.size(), kPutBatch));
         Bytes& head =
             head_slot(cls, lat.strand_id(first + bucket.front(), cls));
         for (const std::uint32_t j : bucket) {
           const NodeIndex i = first + j;
           xor_into(head, blocks[j]);
           const Edge out = lat.output_edge(i, cls);
-          store_->put(BlockKey::parity(out), head);
+          puts.emplace_back(BlockKey::parity(out), head);
           results[j].parities[slot] = out;
+          if (puts.size() >= kPutBatch) {
+            store_->put_batch(std::move(puts));
+            puts.clear();
+          }
         }
+        if (!puts.empty()) store_->put_batch(std::move(puts));
       });
     }
   }
@@ -148,9 +163,17 @@ void ParallelEncoder::append_strand_scheduled(
   for (std::size_t begin = 0; begin < blocks.size(); begin += chunk) {
     const std::size_t end = std::min(begin + chunk, blocks.size());
     pool_->submit([this, &blocks, first, begin, end] {
-      for (std::size_t j = begin; j < end; ++j)
-        store_->put(BlockKey::data(first + static_cast<NodeIndex>(j)),
-                    blocks[j]);
+      constexpr std::size_t kPutBatch = 64;
+      std::vector<std::pair<BlockKey, Bytes>> puts;
+      for (std::size_t b = begin; b < end; b += kPutBatch) {
+        const std::size_t stop = std::min(b + kPutBatch, end);
+        puts.clear();
+        for (std::size_t j = b; j < stop; ++j)
+          puts.emplace_back(BlockKey::data(first + static_cast<NodeIndex>(j)),
+                            blocks[j]);
+        store_->put_batch(std::move(puts));
+        puts.clear();  // moved-from: restore a known-empty state
+      }
     });
   }
 

@@ -55,6 +55,15 @@ class ParallelRepairer {
   /// residue as the serial Decoder::repair_all.
   RepairReport repair_all(std::uint32_t max_rounds = 0 /* unlimited */);
 
+  /// Attaches an incrementally maintained availability index (nullptr
+  /// detaches): repair_all then plans from the index's missing set —
+  /// O(damage) — instead of scanning the store. The caller owns keeping
+  /// the index in sync with every store mutation (Archive wires it as the
+  /// store's observer); the planned waves are identical either way.
+  void set_availability_index(const AvailabilityIndex* index) noexcept {
+    avail_index_ = index;
+  }
+
   /// Parallel counterpart of Decoder::read_node: radius-scoped plan for
   /// the target, waves executed across the pool. Returns nullopt when
   /// the block is irrecoverable.
@@ -67,11 +76,16 @@ class ParallelRepairer {
  private:
   /// Dispatches one wave in contiguous chunks and waits at the barrier.
   void execute_wave(const std::vector<RepairStep>& wave);
+  /// Worker body: steps [begin, end) of a wave, batched through the
+  /// store's get_batch/put_batch.
+  void execute_steps(const std::vector<RepairStep>& wave, std::size_t begin,
+                     std::size_t end);
   void execute_plan(const RepairPlan& plan);
 
   Lattice lattice_;  // owns the CodeParams copy (lattice_.params())
   std::size_t block_size_;
   BlockStore* store_;
+  const AvailabilityIndex* avail_index_ = nullptr;
   /// Set only by the owning constructor; pool_ points here or outside.
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;

@@ -1,6 +1,7 @@
 // aectool — command-line front end for redundant archives.
 //
-//   aectool init   --root DIR [--code AE(3,2,5)] [--block-size 4096]
+//   aectool init   --root DIR [--code AE(3,2,5)] [--store file]
+//                  [--block-size 4096]
 //   aectool put    --root DIR --name NAME [--threads N] FILE
 //   aectool get    --root DIR --name NAME [--threads N] [-o OUT]
 //   aectool ls     --root DIR
@@ -9,11 +10,15 @@
 //   aectool damage --root DIR --fraction 0.2 [--seed 7]
 //
 // `--code` accepts any registered codec spec — AE(α,s,p) entanglement,
-// RS(k,m) Reed-Solomon stripes, REP(n) replication. `damage` deletes
-// random block files (testing aid); `scrub` repairs everything
-// recoverable and runs the integrity scan. `--threads` sizes the
-// execution engine (worker pool) for put/get/scrub — the stored bytes
-// are identical at every thread count.
+// RS(k,m) Reed-Solomon stripes, REP(n) replication — and `--store` any
+// registered *durable* store backend ("file", "sharded(8)"; the
+// library's ephemeral "mem" is rejected here); both are recorded in the
+// manifest, so every later command rebuilds the same layout. `damage` deletes random block files (testing aid); `scrub`
+// repairs everything recoverable and runs the integrity scan; `stat`
+// prints the availability census from the incremental index. `--threads`
+// sizes the execution engine (worker pool) for put/get/scrub — the
+// stored bytes are identical at every thread count.
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -22,6 +27,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "core/codec/store_registry.h"
 #include "tools/archive.h"
 
 namespace {
@@ -33,13 +39,16 @@ using namespace aec::tools;
   std::fprintf(stderr,
                "usage: aectool <init|put|get|ls|stat|scrub|damage>"
                " --root DIR [options]\n"
-               "  init   --code SPEC --block-size N   create an archive\n"
+               "  init   --code SPEC --store STORE --block-size N\n"
+               "         create an archive\n"
                "         (SPEC: AE(a,s,p) | RS(k,m) | REP(n);"
                " default AE(3,2,5))\n"
+               "         (STORE: file | sharded(N); default file)\n"
                "  put    --name NAME [--threads N] FILE\n"
                "  get    --name NAME [--threads N] [-o OUT]\n"
                "  ls                                  list archived files\n"
-               "  stat                                archive summary\n"
+               "  stat                                archive + availability"
+               " summary\n"
                "  scrub  [--threads N]                repair + integrity scan\n"
                "  damage --fraction F [--seed S]      delete random blocks\n");
   std::exit(2);
@@ -55,7 +64,7 @@ struct Args {
 /// something to swallow silently.
 const std::set<std::string>& allowed_options(const std::string& command) {
   static const std::map<std::string, std::set<std::string>> allowed = {
-      {"init", {"--root", "--code", "--block-size"}},
+      {"init", {"--root", "--code", "--store", "--block-size"}},
       {"put", {"--root", "--name", "--threads"}},
       {"get", {"--root", "--name", "--threads", "--out"}},
       {"ls", {"--root"}},
@@ -117,14 +126,26 @@ int run(const Args& args) {
     const auto code_it = args.options.find("--code");
     const std::string spec =
         code_it == args.options.end() ? "AE(3,2,5)" : code_it->second;
+    const auto store_it = args.options.find("--store");
+    const std::string store_spec =
+        store_it == args.options.end() ? std::string() : store_it->second;
+    if (!store_spec.empty()) {
+      // The library allows "mem" (tests, simulations), but a CLI archive
+      // must survive the process: an in-memory backend would report
+      // success and lose every block at exit.
+      AEC_CHECK_MSG(parse_store_spec(store_spec).family != "mem",
+                    "--store mem is ephemeral; a durable archive needs "
+                    "file or sharded(N)");
+    }
     const auto bs_it = args.options.find("--block-size");
     const std::size_t block_size =
         bs_it == args.options.end()
             ? 4096
             : static_cast<std::size_t>(std::stoull(bs_it->second));
-    auto archive = Archive::create(root, spec, block_size);
-    std::printf("initialized %s archive at %s (block size %zu)\n",
-                archive->codec().id().c_str(), root.c_str(), block_size);
+    auto archive = Archive::create(root, spec, block_size, {}, store_spec);
+    std::printf("initialized %s archive at %s (store %s, block size %zu)\n",
+                archive->codec().id().c_str(), root.c_str(),
+                archive->store_spec().c_str(), block_size);
     return 0;
   }
 
@@ -188,10 +209,24 @@ int run(const Args& args) {
   }
   if (args.command == "stat") {
     std::printf("codec       : %s\n", archive->codec().id().c_str());
+    std::printf("store       : %s\n", archive->store_spec().c_str());
     std::printf("block size  : %zu\n", archive->block_size());
     std::printf("data blocks : %llu\n",
                 static_cast<unsigned long long>(archive->blocks()));
     std::printf("files       : %zu\n", archive->files().size());
+    std::printf("availability:\n");
+    std::uint64_t expected_total = 0;
+    for (const AvailabilityClassSummary& row :
+         archive->availability_summary()) {
+      expected_total += row.expected;
+      std::printf("  %-10s %12llu/%llu present, %llu missing\n",
+                  row.label.c_str(),
+                  static_cast<unsigned long long>(row.expected - row.missing),
+                  static_cast<unsigned long long>(row.expected),
+                  static_cast<unsigned long long>(row.missing));
+    }
+    std::printf("blocks      : %llu expected (data + redundancy)\n",
+                static_cast<unsigned long long>(expected_total));
     std::printf("missing     : %llu blocks\n",
                 static_cast<unsigned long long>(archive->missing_blocks()));
     return 0;

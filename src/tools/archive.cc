@@ -1,12 +1,14 @@
 #include "tools/archive.h"
 
 #include <algorithm>
+#include <array>
 #include <fstream>
 #include <sstream>
 #include <unordered_set>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/codec/store_registry.h"
 
 namespace aec::tools {
 
@@ -50,6 +52,7 @@ std::string hex_decode(const std::string& s) {
 
 struct ParsedManifest {
   std::string codec_spec;
+  std::string store_spec = "file";  // absent tag = the classic backend
   std::size_t block_size = 0;
   std::uint64_t blocks = 0;
   std::vector<FileEntry> files;
@@ -76,6 +79,8 @@ ParsedManifest parse_manifest(std::istream& in) {
     row >> tag;
     if (v2 && tag == "codec") {
       row >> manifest.codec_spec;
+    } else if (v2 && tag == "store") {
+      row >> manifest.store_spec;
     } else if (!v2 && tag == "code") {
       // v1 manifests are AE-only: "code <alpha> <s> <p>".
       std::uint32_t alpha = 0;
@@ -136,14 +141,17 @@ ParsedManifest parse_manifest(std::istream& in) {
 FileWriter::FileWriter(Archive* archive, std::string name)
     : archive_(archive),
       name_(std::move(name)),
-      first_block_(static_cast<NodeIndex>(archive->blocks()) + 1) {}
+      first_block_(static_cast<NodeIndex>(archive->blocks()) + 1) {
+  partial_.reserve(archive->block_size());
+}
 
 FileWriter::FileWriter(FileWriter&& other) noexcept
     : archive_(other.archive_),
       name_(std::move(other.name_)),
       first_block_(other.first_block_),
       bytes_(other.bytes_),
-      pending_(std::move(other.pending_)) {
+      ready_(std::move(other.ready_)),
+      partial_(std::move(other.partial_)) {
   other.archive_ = nullptr;
 }
 
@@ -153,57 +161,71 @@ FileWriter::~FileWriter() {
 
 void FileWriter::write(BytesView chunk) {
   AEC_CHECK_MSG(archive_ != nullptr, "write() on a closed FileWriter");
-  pending_.insert(pending_.end(), chunk.begin(), chunk.end());
+  const std::size_t block_size = archive_->block_size();
   bytes_ += chunk.size();
+  while (!chunk.empty()) {
+    if (partial_.empty() && chunk.size() >= block_size) {
+      // Block-aligned fast path: seal straight from the caller's chunk.
+      ready_.emplace_back(chunk.begin(),
+                          chunk.begin() + static_cast<std::ptrdiff_t>(
+                                              block_size));
+      chunk = chunk.subspan(block_size);
+      continue;
+    }
+    const std::size_t take =
+        std::min(block_size - partial_.size(), chunk.size());
+    partial_.insert(partial_.end(), chunk.begin(),
+                    chunk.begin() + static_cast<std::ptrdiff_t>(take));
+    chunk = chunk.subspan(take);
+    if (partial_.size() == block_size) {
+      ready_.push_back(std::move(partial_));
+      partial_ = Bytes();
+      partial_.reserve(block_size);
+    }
+  }
   flush_windows();
 }
 
+std::vector<Bytes> FileWriter::take_ready(std::size_t count) {
+  std::vector<Bytes> blocks;
+  blocks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    blocks.push_back(std::move(ready_.front()));
+    ready_.pop_front();
+  }
+  return blocks;
+}
+
 void FileWriter::flush_windows() {
-  const std::size_t block_size = archive_->block_size();
-  const std::size_t window_bytes =
-      archive_->engine().ingest_window_blocks() * block_size;
-  while (pending_.size() >= window_bytes) {
-    std::vector<Bytes> blocks;
-    blocks.reserve(window_bytes / block_size);
-    for (std::size_t offset = 0; offset < window_bytes; offset += block_size)
-      blocks.emplace_back(
-          pending_.begin() + static_cast<std::ptrdiff_t>(offset),
-          pending_.begin() + static_cast<std::ptrdiff_t>(offset + block_size));
+  const std::size_t window_blocks =
+      archive_->engine().ingest_window_blocks();
+  while (ready_.size() >= window_blocks) {
+    const std::vector<Bytes> blocks = take_ready(window_blocks);
     archive_->session_->append(blocks);
     // The payload cache would otherwise retain every block of the file;
     // the index (and the blocks on disk) survive, so streaming ingest
     // keeps only the current window plus the codec's heads in memory.
-    archive_->store_->drop_cache();
-    pending_.erase(pending_.begin(),
-                   pending_.begin() + static_cast<std::ptrdiff_t>(window_bytes));
+    archive_->store_->drop_payload_cache();
   }
 }
 
 const FileEntry& FileWriter::close() {
   AEC_CHECK_MSG(archive_ != nullptr, "close() on a closed FileWriter");
   Archive& archive = *archive_;
-  const std::size_t block_size = archive.block_size();
 
-  // Seal the tail: whole blocks, then a zero-padded final block. Empty
-  // files still occupy one (all-zero) block.
-  std::vector<Bytes> blocks;
-  blocks.reserve(pending_.size() / block_size + 1);
-  std::size_t offset = 0;
-  for (; offset + block_size <= pending_.size(); offset += block_size)
-    blocks.emplace_back(
-        pending_.begin() + static_cast<std::ptrdiff_t>(offset),
-        pending_.begin() + static_cast<std::ptrdiff_t>(offset + block_size));
-  if (offset < pending_.size() || bytes_ == 0) {
-    Bytes tail(block_size, 0);
-    std::copy(pending_.begin() + static_cast<std::ptrdiff_t>(offset),
-              pending_.end(), tail.begin());
+  // Seal the tail: the remaining whole blocks, then a zero-padded final
+  // block. Empty files still occupy one (all-zero) block.
+  std::vector<Bytes> blocks = take_ready(ready_.size());
+  if (!partial_.empty() || bytes_ == 0) {
+    Bytes tail(archive.block_size(), 0);
+    std::copy(partial_.begin(), partial_.end(), tail.begin());
     blocks.push_back(std::move(tail));
   }
   if (!blocks.empty()) {
     archive.session_->append(blocks);
-    archive.store_->drop_cache();
+    archive.store_->drop_payload_cache();
   }
-  pending_.clear();
+  partial_.clear();
 
   FileEntry entry;
   entry.name = name_;
@@ -219,17 +241,38 @@ const FileEntry& FileWriter::close() {
 // --- Archive ----------------------------------------------------------------
 
 Archive::Archive(fs::path root, std::shared_ptr<const Codec> codec,
-                 std::size_t block_size, std::uint64_t resume_count,
-                 std::vector<FileEntry> files, std::shared_ptr<Engine> engine)
+                 std::string store_spec, std::size_t block_size,
+                 std::uint64_t resume_count, std::vector<FileEntry> files,
+                 std::shared_ptr<Engine> engine)
     : root_(std::move(root)),
       codec_(std::move(codec)),
+      store_spec_(std::move(store_spec)),
       block_size_(block_size),
       engine_(engine ? std::move(engine) : Engine::serial()),
       files_(std::move(files)) {
-  store_ = std::make_unique<FileBlockStore>(root_);
-  locked_store_ = std::make_unique<pipeline::LockedBlockStore>(store_.get());
-  session_ = engine_->open_session(codec_, locked_store_.get(), block_size_,
+  store_ = make_store(store_spec_, root_);
+  if (store_->thread_safe()) {
+    session_store_ = store_.get();
+  } else {
+    // Single-mutex fallback for backends without their own locking
+    // (uncontended on a 1-thread engine).
+    locked_store_ =
+        std::make_unique<pipeline::LockedBlockStore>(store_.get());
+    session_store_ = locked_store_.get();
+  }
+  // Observe before the session touches the store, so every mutation
+  // (including resume-time tail healing) flows into the index…
+  store_->set_observer(&avail_index_);
+  session_ = engine_->open_session(codec_, session_store_, block_size_,
                                    resume_count);
+  // …then reseed from authoritative store contents: damage inflicted
+  // while the archive was closed predates the observer. One O(lattice)
+  // census at open buys O(damage) scrubs afterwards.
+  avail_index_.clear();
+  session_->for_each_expected_key([&](const BlockKey& key) {
+    if (!store_->contains(key)) avail_index_.on_block(key, false);
+  });
+  session_->attach_availability_index(&avail_index_);
 }
 
 Archive::~Archive() = default;
@@ -237,15 +280,36 @@ Archive::~Archive() = default;
 std::unique_ptr<Archive> Archive::create(fs::path root,
                                          const std::string& codec_spec,
                                          std::size_t block_size,
-                                         std::shared_ptr<Engine> engine) {
+                                         std::shared_ptr<Engine> engine,
+                                         const std::string& store_spec) {
   AEC_CHECK_MSG(!fs::exists(root / "manifest.txt"),
                 "archive already exists at " << root.string());
   AEC_CHECK_MSG(block_size > 0, "block size must be positive");
   std::shared_ptr<const Codec> codec = make_codec(codec_spec);
+  std::string resolved_store = store_spec;
+  if (resolved_store.empty())
+    resolved_store = engine ? engine->store_spec() : "file";
+  // Fail before touching the disk where possible: syntax and family must
+  // resolve here; factory-level failures (e.g. a bad shard count) are
+  // caught below and the root we created is removed again.
+  const StoreSpec parsed_store = parse_store_spec(resolved_store);
+  AEC_CHECK_MSG(StoreRegistry::instance().has_family(parsed_store.family),
+                "unknown store family '" << parsed_store.family << "' in '"
+                                         << resolved_store << "'");
+  const bool root_existed = fs::exists(root);
   fs::create_directories(root);
-  auto archive = std::unique_ptr<Archive>(
-      new Archive(std::move(root), std::move(codec), block_size, 0, {},
-                  std::move(engine)));
+  std::unique_ptr<Archive> archive;
+  try {
+    archive = std::unique_ptr<Archive>(
+        new Archive(root, std::move(codec), std::move(resolved_store),
+                    block_size, 0, {}, std::move(engine)));
+  } catch (...) {
+    if (!root_existed) {
+      std::error_code ec;
+      fs::remove_all(root, ec);  // undo our own mkdir, best effort
+    }
+    throw;
+  }
   archive->save_manifest();
   return archive;
 }
@@ -265,10 +329,10 @@ std::unique_ptr<Archive> Archive::open(fs::path root,
                 "no archive manifest at " << (root / "manifest.txt").string());
   ParsedManifest manifest = parse_manifest(in);
   std::shared_ptr<const Codec> codec = make_codec(manifest.codec_spec);
-  return std::unique_ptr<Archive>(
-      new Archive(std::move(root), std::move(codec), manifest.block_size,
-                  manifest.blocks, std::move(manifest.files),
-                  std::move(engine)));
+  return std::unique_ptr<Archive>(new Archive(
+      std::move(root), std::move(codec), std::move(manifest.store_spec),
+      manifest.block_size, manifest.blocks, std::move(manifest.files),
+      std::move(engine)));
 }
 
 std::unique_ptr<Archive> Archive::open(fs::path root, std::size_t threads) {
@@ -290,6 +354,7 @@ void Archive::save_manifest() const {
     AEC_CHECK_MSG(out.good(), "cannot write manifest");
     out << "aec-archive v2\n";
     out << "codec " << codec_->id() << "\n";
+    out << "store " << store_spec_ << "\n";
     out << "block_size " << block_size_ << "\n";
     out << "blocks " << blocks() << "\n";
     for (const FileEntry& entry : files_)
@@ -357,11 +422,37 @@ ScrubReport Archive::scrub() {
 }
 
 std::uint64_t Archive::missing_blocks() const {
+  // O(damage): the index's missing set, restricted to the keys this
+  // archive actually expects (erased orphans don't count).
   std::uint64_t missing = 0;
-  session_->for_each_expected_key([&](const BlockKey& key) {
-    if (!store_->contains(key)) ++missing;
+  avail_index_.for_each_missing([&](const BlockKey& key) {
+    if (session_->is_expected_key(key)) ++missing;
   });
   return missing;
+}
+
+std::vector<AvailabilityClassSummary> Archive::availability_summary() const {
+  // Fixed buckets: 0 = data, 1 + class = parity of that strand class —
+  // counter bumps only, no per-key allocation on the O(lattice) walk.
+  std::array<std::uint64_t, 4> expected{};
+  std::array<std::uint64_t, 4> missing{};
+  const auto bucket_of = [](const BlockKey& key) -> std::size_t {
+    return key.is_data() ? 0 : 1 + static_cast<std::size_t>(key.cls);
+  };
+  // Expected counts are a metadata walk (no store I/O); missing counts
+  // come straight from the index.
+  session_->for_each_expected_key(
+      [&](const BlockKey& key) { ++expected[bucket_of(key)]; });
+  avail_index_.for_each_missing([&](const BlockKey& key) {
+    if (session_->is_expected_key(key)) ++missing[bucket_of(key)];
+  });
+
+  std::vector<AvailabilityClassSummary> rows;
+  static constexpr std::array<const char*, 4> kLabels = {
+      "data", "parity H", "parity RH", "parity LH"};
+  for (std::size_t b = 0; b < kLabels.size(); ++b)
+    if (expected[b] > 0) rows.push_back({kLabels[b], expected[b], missing[b]});
+  return rows;
 }
 
 std::uint64_t Archive::inject_damage(double fraction, std::uint64_t seed) {

@@ -1,16 +1,24 @@
-// Durable redundant archive: FileBlockStore + one Codec + one Engine +
-// a plain-text manifest. This is the "downstream user" face of the
-// library — what the aectool CLI drives.
+// Durable redundant archive: a registry-built BlockStore + one Codec +
+// one Engine + a plain-text manifest. This is the "downstream user" face
+// of the library — what the aectool CLI drives.
 //
-// The archive is codec-generic: `aec::Codec` (AE entanglement, RS
-// stripes, n-way replication) picked at create() time and recorded in
-// the manifest, executed through an `aec::Engine`'s shared worker pool
-// (a 1-thread engine is the serial path; the stored bytes are identical
-// at every thread count).
+// The archive is codec-generic AND store-generic: the codec spec
+// ("AE(3,2,5)", "RS(10,4)", "REP(3)") and the store spec ("file",
+// "sharded(8)", "mem") are both picked at create() time, recorded in the
+// manifest, and rebuilt by open(). Execution goes through an
+// `aec::Engine`'s shared worker pool (a 1-thread engine is the serial
+// path; the stored bytes are identical at every thread count and on
+// every backend).
+//
+// An AvailabilityIndex rides along as the store's mutation observer:
+// damage censuses (missing_blocks, aectool stat) and repair planning
+// (scrub) cost O(damage) instead of a full store scan — the index is
+// seeded once at open and every put/erase keeps it current.
 //
 // Manifest (<root>/manifest.txt), version 2:
 //   aec-archive v2
 //   codec <spec>            e.g. AE(3,2,5) / RS(10,4) / REP(3)
+//   store <spec>            e.g. file / sharded(8)   (absent = file)
 //   block_size <bytes>
 //   blocks <count>
 //   file <hex-name> <first_block> <bytes>
@@ -29,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <memory>
 #include <optional>
@@ -38,7 +47,8 @@
 #include "api/codec.h"
 #include "api/engine.h"
 #include "api/session.h"
-#include "core/codec/file_block_store.h"
+#include "core/codec/availability_index.h"
+#include "core/codec/block_store.h"
 #include "pipeline/concurrent_block_store.h"
 
 namespace aec::tools {
@@ -57,6 +67,15 @@ struct ScrubReport {
   RepairReport repair;
   std::uint64_t inconsistent_parities = 0;
   std::vector<NodeIndex> suspect_nodes;
+};
+
+/// One row of the availability census (aectool stat): how many blocks of
+/// one kind/class an intact archive would hold, and how many the index
+/// reports missing right now.
+struct AvailabilityClassSummary {
+  std::string label;  // "data", "parity H", …
+  std::uint64_t expected = 0;
+  std::uint64_t missing = 0;
 };
 
 class Archive;
@@ -96,25 +115,38 @@ class FileWriter {
 
   /// Encodes every full window currently buffered.
   void flush_windows();
+  /// Moves the first `count` ready blocks into a batch (O(count) span
+  /// moves, no byte memmove).
+  std::vector<Bytes> take_ready(std::size_t count);
 
   Archive* archive_;  // null once closed/moved-from
   std::string name_;
   NodeIndex first_block_ = 0;
   std::uint64_t bytes_ = 0;
-  Bytes pending_;  // < one ingest window + one block
+  /// Ring of sealed block-sized spans awaiting a window flush. A deque
+  /// pop_front is O(1) per block, unlike the old linear pending buffer
+  /// whose every flush memmoved the whole remainder to the front.
+  std::deque<Bytes> ready_;
+  /// The one partially filled tail block (< block_size bytes).
+  Bytes partial_;
 };
 
 class Archive {
  public:
   /// Creates a fresh archive (root must not already hold a manifest).
   /// `codec_spec` is resolved through the CodecRegistry ("AE(3,2,5)",
-  /// "RS(10,4)", "REP(3)", …); a null `engine` means Engine::serial().
-  /// The engine is a per-process execution choice, not an archive
-  /// property — the stored bytes are identical for every engine.
+  /// "RS(10,4)", "REP(3)", …) and `store_spec` through the StoreRegistry
+  /// ("file", "sharded(8)", "mem"; empty = the engine's default, which
+  /// is "file" unless configured). A null `engine` means
+  /// Engine::serial(). The engine is a per-process execution choice, not
+  /// an archive property — the stored bytes are identical for every
+  /// engine; the store spec IS an archive property and is recorded in
+  /// the manifest.
   static std::unique_ptr<Archive> create(std::filesystem::path root,
                                          const std::string& codec_spec,
                                          std::size_t block_size,
-                                         std::shared_ptr<Engine> engine = {});
+                                         std::shared_ptr<Engine> engine = {},
+                                         const std::string& store_spec = {});
 
   /// Back-compat: AE codec from params + a bare thread count.
   static std::unique_ptr<Archive> create(std::filesystem::path root,
@@ -122,7 +154,8 @@ class Archive {
                                          std::size_t block_size,
                                          std::size_t threads = 1);
 
-  /// Opens an existing archive from its manifest (v1 or v2).
+  /// Opens an existing archive from its manifest (v1 or v2). The store
+  /// backend comes from the manifest's store spec.
   static std::unique_ptr<Archive> open(std::filesystem::path root,
                                        std::shared_ptr<Engine> engine);
   static std::unique_ptr<Archive> open(std::filesystem::path root,
@@ -138,6 +171,12 @@ class Archive {
   Engine& engine() const noexcept { return *engine_; }
   std::size_t threads() const noexcept { return engine_->threads(); }
   const std::vector<FileEntry>& files() const noexcept { return files_; }
+  /// The manifest-recorded store backend spec ("file", "sharded(8)", …).
+  const std::string& store_spec() const noexcept { return store_spec_; }
+  /// The live availability index (kept current by store mutations).
+  const AvailabilityIndex& availability_index() const noexcept {
+    return avail_index_;
+  }
 
   /// Opens a streaming writer for a new file. Name must be unique; only
   /// one writer may be open at a time (file blocks are consecutive).
@@ -151,11 +190,16 @@ class Archive {
   /// nullopt if the name is unknown or content is irrecoverable.
   std::optional<Bytes> read_file(const std::string& name);
 
-  /// Global repair + integrity scan.
+  /// Global repair + integrity scan. Availability comes from the
+  /// incremental index — O(damage), no store scan.
   ScrubReport scrub();
 
-  /// Missing blocks right now (damage visible to the index).
+  /// Missing blocks right now, from the index — O(damage).
   std::uint64_t missing_blocks() const;
+
+  /// Availability census per block kind/class (data, then one row per
+  /// parity class the codec stores) — the `aectool stat` table.
+  std::vector<AvailabilityClassSummary> availability_summary() const;
 
   /// Deletes a random fraction of the block files (damage injection for
   /// demos/tests). Returns how many blocks were destroyed.
@@ -165,20 +209,30 @@ class Archive {
   friend class FileWriter;
 
   Archive(std::filesystem::path root, std::shared_ptr<const Codec> codec,
-          std::size_t block_size, std::uint64_t resume_count,
-          std::vector<FileEntry> files, std::shared_ptr<Engine> engine);
+          std::string store_spec, std::size_t block_size,
+          std::uint64_t resume_count, std::vector<FileEntry> files,
+          std::shared_ptr<Engine> engine);
 
   void save_manifest() const;
 
   std::filesystem::path root_;
   std::shared_ptr<const Codec> codec_;
+  std::string store_spec_;
   std::size_t block_size_;
   std::shared_ptr<Engine> engine_;
   std::vector<FileEntry> files_;
-  std::unique_ptr<FileBlockStore> store_;
-  /// FileBlockStore is not thread-safe on its own; every session access
-  /// goes through this wrapper (uncontended on a 1-thread engine).
+  /// Mutation-fed missing-block set; observer of store_. Declared before
+  /// the store so it outlives the store's notifications.
+  AvailabilityIndex avail_index_;
+  /// Registry-built backend ("file", "sharded(N)", "mem").
+  std::unique_ptr<BlockStore> store_;
+  /// Single-mutex wrapper, built only when the backend is not itself
+  /// thread-safe (FileBlockStore, InMemoryBlockStore); sharded backends
+  /// are used directly.
   std::unique_ptr<pipeline::LockedBlockStore> locked_store_;
+  /// What the session reads/writes: locked_store_ when present, else
+  /// store_.
+  BlockStore* session_store_ = nullptr;
   /// The one engine-dispatched encode/repair path (AE lattice pipeline
   /// or codec stripes — see Engine::open_session).
   std::unique_ptr<CodecSession> session_;

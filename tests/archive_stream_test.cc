@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/codec/file_block_store.h"
 #include "tools/archive.h"
 
 namespace aec::tools {
@@ -177,7 +178,8 @@ TEST_F(ArchiveStreamTest, V1ManifestRoundTripsToV2) {
       v1 << "aec-archive v1\n";
     else if (line.rfind("codec ", 0) == 0)
       v1 << "code 2 2 5\n";
-    else if (line.rfind("end ", 0) != 0)  // v1 has no end marker
+    else if (line.rfind("store ", 0) != 0 &&  // v1 has no store spec…
+             line.rfind("end ", 0) != 0)      // …and no end marker
       v1 << line << "\n";
   }
   write_manifest(dir("a"), v1.str());

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/codec/file_block_store.h"
 #include "tools/archive.h"
 
 namespace aec::tools {

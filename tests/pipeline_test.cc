@@ -15,6 +15,7 @@
 #include "pipeline/concurrent_block_store.h"
 #include "pipeline/parallel_encoder.h"
 #include "pipeline/thread_pool.h"
+#include "core/codec/file_block_store.h"
 #include "tools/archive.h"
 
 namespace aec {
