@@ -1,0 +1,66 @@
+#include "cluster/placement.h"
+
+#include "common/check.h"
+
+namespace aec::cluster {
+
+namespace {
+
+/// splitmix64 finalizer — full-avalanche mix for the seeded-random policy.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PlacementPolicy parse_placement_policy(const std::string& name) {
+  if (name == "random") return PlacementPolicy::kRandom;
+  if (name == "rr" || name == "roundrobin") return PlacementPolicy::kRoundRobin;
+  if (name == "strand") return PlacementPolicy::kStrand;
+  AEC_CHECK_MSG(false, "unknown placement policy '"
+                           << name << "' (want random | rr | strand)");
+}
+
+const char* to_string(PlacementPolicy policy) noexcept {
+  switch (policy) {
+    case PlacementPolicy::kRandom:
+      return "random";
+    case PlacementPolicy::kRoundRobin:
+      return "rr";
+    case PlacementPolicy::kStrand:
+      return "strand";
+  }
+  return "?";
+}
+
+std::uint32_t place_block(const BlockKey& key, std::uint32_t n_nodes,
+                          PlacementPolicy policy,
+                          std::uint64_t seed) noexcept {
+  const auto n = static_cast<std::uint64_t>(n_nodes);
+  const auto column = static_cast<std::uint64_t>(key.index - 1);
+  switch (policy) {
+    case PlacementPolicy::kRoundRobin:
+      // Everything of lattice position i on one node.
+      return static_cast<std::uint32_t>(column % n);
+    case PlacementPolicy::kStrand: {
+      // Parities shifted off their tail's node by 1 + class rank: d_i and
+      // its α output parities span α+1 distinct nodes when N > α.
+      const std::uint64_t shift =
+          key.is_data() ? 0 : 1 + static_cast<std::uint64_t>(key.cls);
+      return static_cast<std::uint32_t>((column + shift) % n);
+    }
+    case PlacementPolicy::kRandom: {
+      const std::uint64_t packed =
+          (static_cast<std::uint64_t>(key.index) << 3) |
+          (static_cast<std::uint64_t>(key.kind) << 2) |
+          static_cast<std::uint64_t>(key.cls);
+      return static_cast<std::uint32_t>(mix64(packed ^ mix64(seed)) % n);
+    }
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace aec::cluster

@@ -1,0 +1,58 @@
+// Failure-domain-aware block placement — the ONE block→node assignment
+// shared by the real multi-node storage layer (ClusterStore) and the
+// disaster simulation (sim::AeScheme), so simulated survivability and
+// the bytes on disk cannot drift apart.
+//
+// The paper evaluates placement over independent failure domains
+// (§V-C "Block Placements", Fig 13): where a block lives relative to
+// the blocks that repair it decides whether a domain failure costs a
+// cheap single-failure repair (one XOR from two live blocks) or an
+// expensive multi-round recovery. Three policies:
+//
+//   kRoundRobin — d_i and every parity p_{·,i} land on node (i−1) mod N:
+//                 the naive "stripe by lattice column" layout of earlier
+//                 work. A node failure takes a data block *and* all of
+//                 its output parities at once, so repairs lean on the
+//                 head-side alternatives — the ablation baseline.
+//   kStrand     — strand-aware (the paper's Fig 13 goal: maximize
+//                 single-failure repairs): d_i keeps (i−1) mod N but
+//                 parity p_{cls,i} is shifted by 1 + cls, so a data
+//                 block and its α output parities occupy α+1 distinct
+//                 nodes whenever N > α. One node failure then leaves
+//                 both repair inputs of every lost data block alive.
+//   kRandom     — stateless seeded hash of the key. Unlike the sim's
+//                 historical sequential-RNG draws this needs no global
+//                 order, so a growing archive can place block 10^9
+//                 without replaying 10^9 draws.
+//
+// All policies are pure functions of (key, n_nodes, policy, seed):
+// deterministic, order-free, and cheap enough to call on every store
+// operation — the placement map is never materialized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/codec/block_key.h"
+
+namespace aec::cluster {
+
+enum class PlacementPolicy : std::uint8_t {
+  kRandom = 0,
+  kRoundRobin = 1,
+  kStrand = 2,
+};
+
+/// "random" | "rr" / "roundrobin" | "strand" → policy; throws CheckError
+/// on anything else (this is what the cluster(...) store spec parses).
+PlacementPolicy parse_placement_policy(const std::string& name);
+
+const char* to_string(PlacementPolicy policy) noexcept;
+
+/// The node in [0, n_nodes) that stores `key`. `seed` only matters for
+/// kRandom (it decorrelates independent clusters).
+std::uint32_t place_block(const BlockKey& key, std::uint32_t n_nodes,
+                          PlacementPolicy policy,
+                          std::uint64_t seed) noexcept;
+
+}  // namespace aec::cluster

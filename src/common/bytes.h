@@ -15,4 +15,12 @@ using Bytes = std::vector<std::uint8_t>;
 /// Non-owning read view of a block payload.
 using BytesView = std::span<const std::uint8_t>;
 
+/// 64-bit FNV-1a of a payload — the library's one content fingerprint
+/// (integrity slots, test/bench byte-identity checks).
+inline std::uint64_t fnv1a64(BytesView bytes) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint8_t b : bytes) h = (h ^ b) * 1099511628211ULL;
+  return h;
+}
+
 }  // namespace aec

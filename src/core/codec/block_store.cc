@@ -47,4 +47,10 @@ void InMemoryBlockStore::for_each(
   for (const auto& [key, value] : blocks_) fn(key, value);
 }
 
+bool InMemoryBlockStore::for_each_key(
+    const std::function<void(const BlockKey&)>& fn) const {
+  for (const auto& [key, value] : blocks_) fn(key);
+  return true;
+}
+
 }  // namespace aec

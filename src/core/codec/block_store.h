@@ -76,6 +76,25 @@ class BlockStore {
   /// calls this between windows.
   virtual void drop_payload_cache() const {}
 
+  /// Visits every stored key (presence only, no payload I/O) and returns
+  /// true; returns false without calling `fn` when the store cannot
+  /// enumerate its keys. The callback must not mutate the store;
+  /// thread-safe stores may hold internal locks while it runs. This is
+  /// what lets the cluster layer announce a whole failure domain's worth
+  /// of keys to the availability index at fail/heal time.
+  virtual bool for_each_key(
+      const std::function<void(const BlockKey&)>& fn) const {
+    (void)fn;
+    return false;
+  }
+
+  /// Re-reads authoritative presence state (durable stores re-scan their
+  /// directory tree, picking up external additions/removals). The
+  /// observer is NOT notified of the diff; reseed any availability index
+  /// afterwards (Archive::reindex does both). No-op for stores whose
+  /// in-memory state is authoritative.
+  virtual void rescan() {}
+
   /// Registers (or, with nullptr, clears) the mutation observer. Wrapper
   /// stores forward to their delegate so each mutation notifies exactly
   /// once (and answer observer() from the delegate too). Set it while no
@@ -106,6 +125,9 @@ class InMemoryBlockStore final : public BlockStore {
   /// Visits every stored (key, value) pair.
   void for_each(
       const std::function<void(const BlockKey&, const Bytes&)>& fn) const;
+
+  bool for_each_key(
+      const std::function<void(const BlockKey&)>& fn) const override;
 
  private:
   std::unordered_map<BlockKey, Bytes, BlockKeyHash> blocks_;

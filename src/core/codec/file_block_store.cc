@@ -87,6 +87,12 @@ bool FileBlockStore::erase(const BlockKey& key) {
 
 std::uint64_t FileBlockStore::size() const { return index_.size(); }
 
+bool FileBlockStore::for_each_key(
+    const std::function<void(const BlockKey&)>& fn) const {
+  for (const auto& [key, present] : index_) fn(key);
+  return true;
+}
+
 void FileBlockStore::drop_cache() const { cache_.clear(); }
 
 }  // namespace aec

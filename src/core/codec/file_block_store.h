@@ -40,7 +40,10 @@ class FileBlockStore final : public BlockStore {
   /// Re-scans the directory tree (picks up external additions/removals).
   /// The observer is not notified of the diff; reseed any availability
   /// index afterwards.
-  void rescan();
+  void rescan() override;
+
+  bool for_each_key(
+      const std::function<void(const BlockKey&)>& fn) const override;
 
   /// Filesystem path of a block.
   std::filesystem::path path_of(const BlockKey& key) const;

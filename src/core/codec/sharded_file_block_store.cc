@@ -103,6 +103,16 @@ void ShardedFileBlockStore::rescan() {
   }
 }
 
+bool ShardedFileBlockStore::for_each_key(
+    const std::function<void(const BlockKey&)>& fn) const {
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard lock(shard.mu);
+    for (const auto& [key, present] : shard.index) fn(key);
+  }
+  return true;
+}
+
 void ShardedFileBlockStore::put_locked(Shard& shard, const BlockKey& key,
                                        Bytes value) {
   const fs::path path = path_of(key);

@@ -59,7 +59,12 @@ class ShardedFileBlockStore final : public BlockStore {
   /// Re-scans every shard's directory tree (picks up external
   /// additions/removals). The observer is not notified of the diff;
   /// reseed any availability index afterwards.
-  void rescan();
+  void rescan() override;
+
+  /// Visits keys one shard at a time, under that shard's lock.
+  /// Concurrent mutators may slip between shards.
+  bool for_each_key(
+      const std::function<void(const BlockKey&)>& fn) const override;
 
   /// Filesystem path of a block (inside its shard).
   std::filesystem::path path_of(const BlockKey& key) const;

@@ -1,7 +1,9 @@
 #include "core/codec/store_registry.h"
 
 #include <cctype>
+#include <charconv>
 
+#include "cluster/cluster_store.h"
 #include "common/check.h"
 #include "core/codec/file_block_store.h"
 #include "core/codec/sharded_file_block_store.h"
@@ -14,30 +16,73 @@ StoreSpec parse_store_spec(const std::string& spec) {
   if (open == std::string::npos) {
     out.family = spec;  // bare family: "file", "mem"
   } else {
-    AEC_CHECK_MSG(open > 0 && spec.back() == ')' && open + 1 < spec.size(),
+    AEC_CHECK_MSG(open > 0 && spec.back() == ')' && open + 1 < spec.size() - 1,
                   "store spec '" << spec
                                  << "' must look like FAMILY or "
                                     "FAMILY(arg,…)");
     out.family = spec.substr(0, open);
+    // Split the body at top-level commas; nested "child(…)" specs stay
+    // whole tokens. Depth is tracked so unbalanced parens are caught
+    // here, not inside a child factory with a garbled token.
     const std::string body = spec.substr(open + 1, spec.size() - open - 2);
-    std::size_t begin = 0;
-    while (begin <= body.size()) {
-      const std::size_t comma = std::min(body.find(',', begin), body.size());
-      const std::string token = body.substr(begin, comma - begin);
-      AEC_CHECK_MSG(!token.empty() && token.size() <= 9 &&
-                        token.find_first_not_of("0123456789") ==
-                            std::string::npos,
+    std::string token;
+    int depth = 0;
+    const auto seal_token = [&] {
+      AEC_CHECK_MSG(!token.empty() && token.size() <= 64,
                     "store spec '" << spec << "': bad argument '" << token
                                    << "'");
-      out.args.push_back(std::stoull(token));
-      begin = comma + 1;
+      out.args.push_back(std::move(token));
+      token.clear();
+    };
+    for (const char c : body) {
+      if (c == '(') ++depth;
+      if (c == ')') {
+        --depth;
+        AEC_CHECK_MSG(depth >= 0,
+                      "store spec '" << spec << "': unbalanced parentheses");
+      }
+      if (c == ',' && depth == 0) {
+        seal_token();
+        continue;
+      }
+      AEC_CHECK_MSG(!std::isspace(static_cast<unsigned char>(c)),
+                    "store spec '" << spec << "': whitespace in argument");
+      token.push_back(c);
     }
+    AEC_CHECK_MSG(depth == 0,
+                  "store spec '" << spec << "': unbalanced parentheses");
+    seal_token();
   }
   AEC_CHECK_MSG(!out.family.empty(), "empty store spec");
   for (const char c : out.family)
     AEC_CHECK_MSG(std::isalnum(static_cast<unsigned char>(c)) != 0,
                   "store spec '" << spec << "': bad family name");
   return out;
+}
+
+std::uint64_t store_spec_uint(const StoreSpec& spec, std::size_t i) {
+  AEC_CHECK_MSG(i < spec.args.size(),
+                spec.family << " spec: missing argument " << i);
+  const std::string& token = spec.args[i];
+  // The full uint64 range parses (the cluster placement seed is a
+  // 64-bit parameter); from_chars rejects signs, spaces and overflow.
+  // Range limits on counts are the callers' to enforce.
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  AEC_CHECK_MSG(!token.empty() && ec == std::errc() &&
+                    ptr == token.data() + token.size(),
+                spec.family << " spec: argument '" << token
+                            << "' is not an unsigned number");
+  return value;
+}
+
+bool store_spec_is_durable(const std::string& spec) {
+  const StoreSpec parsed = parse_store_spec(spec);
+  if (parsed.family == "mem") return false;
+  if (parsed.family == "cluster" && parsed.args.size() >= 3)
+    return store_spec_is_durable(parsed.args[2]);
+  return true;
 }
 
 StoreRegistry::StoreRegistry() {
@@ -63,11 +108,38 @@ StoreRegistry::StoreRegistry() {
                       "sharded store wants sharded or sharded(N)");
         const std::uint64_t shards =
             spec.args.empty() ? ShardedFileBlockStore::kDefaultShards
-                              : spec.args[0];
+                              : store_spec_uint(spec, 0);
         AEC_CHECK_MSG(shards >= 1 && shards <= 4096,
                       "sharded store wants 1..4096 shards, got " << shards);
         return std::make_unique<ShardedFileBlockStore>(
             root, static_cast<std::size_t>(shards));
+      });
+  register_family(
+      "cluster",
+      [](const StoreSpec& spec,
+         const std::filesystem::path& root) -> std::unique_ptr<BlockStore> {
+        AEC_CHECK_MSG(spec.args.size() == 3 || spec.args.size() == 4,
+                      "cluster store wants cluster(N,policy,child[,seed])");
+        const std::uint64_t nodes = store_spec_uint(spec, 0);
+        AEC_CHECK_MSG(nodes >= cluster::ClusterStore::kMinNodes &&
+                          nodes <= cluster::ClusterStore::kMaxNodes,
+                      "cluster store wants "
+                          << cluster::ClusterStore::kMinNodes << ".."
+                          << cluster::ClusterStore::kMaxNodes
+                          << " nodes, got " << nodes);
+        const cluster::PlacementPolicy policy =
+            cluster::parse_placement_policy(spec.args[1]);
+        // The child spec must at least parse to a registered family
+        // before any node directory is created.
+        const StoreSpec child = parse_store_spec(spec.args[2]);
+        AEC_CHECK_MSG(StoreRegistry::instance().has_family(child.family),
+                      "cluster store: unknown child family '"
+                          << child.family << "'");
+        const std::uint64_t seed =
+            spec.args.size() == 4 ? store_spec_uint(spec, 3) : 0;
+        return std::make_unique<cluster::ClusterStore>(
+            root, static_cast<std::uint32_t>(nodes), policy, spec.args[2],
+            seed);
       });
 }
 

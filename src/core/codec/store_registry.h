@@ -11,6 +11,12 @@
 //   sharded(N) — ShardedFileBlockStore with N directory shards, natively
 //                thread-safe (the default N is kDefaultShards when the
 //                argument is omitted: "sharded")
+//   cluster(N,policy,child[,seed])
+//              — ClusterStore routing blocks across N child backends
+//                (failure domains) by placement policy (random | rr |
+//                strand); `child` is any non-cluster spec, nested parens
+//                allowed: "cluster(4,strand,sharded(8))". The optional
+//                seed decorrelates random placement.
 //
 // register_family() adds or replaces a backend (custom stores slot in
 // the same way custom codec families do).
@@ -28,15 +34,27 @@
 
 namespace aec {
 
-/// Parsed "family" or "family(arg,arg,…)" store spec.
+/// Parsed "family" or "family(arg,arg,…)" store spec. Arguments are raw
+/// tokens split at top-level commas (a token may itself be a nested
+/// "family(…)" spec); numeric parameters go through store_spec_uint.
 struct StoreSpec {
   std::string family;
-  std::vector<std::uint64_t> args;
+  std::vector<std::string> args;
 };
 
 /// Splits a spec string; throws CheckError on syntax errors (unbalanced
-/// parentheses, empty/non-numeric arguments, trailing junk).
+/// parentheses, empty arguments, trailing junk, bad family names).
 StoreSpec parse_store_spec(const std::string& spec);
+
+/// Argument i of `spec` as an unsigned integer; throws CheckError when
+/// the token is not a plain small decimal number.
+std::uint64_t store_spec_uint(const StoreSpec& spec, std::size_t i);
+
+/// True when every backend the spec names survives the process ("mem"
+/// anywhere — including as a cluster child — makes it ephemeral).
+/// Unknown families count as durable; the registry rejects them later
+/// with a better message.
+bool store_spec_is_durable(const std::string& spec);
 
 class StoreRegistry {
  public:

@@ -89,6 +89,15 @@ void ConcurrentBlockStore::for_each(
   }
 }
 
+bool ConcurrentBlockStore::for_each_key(
+    const std::function<void(const BlockKey&)>& fn) const {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    for (const auto& [key, value] : stripe->blocks) fn(key);
+  }
+  return true;
+}
+
 LockedBlockStore::LockedBlockStore(BlockStore* delegate)
     : delegate_(delegate) {
   AEC_CHECK_MSG(delegate_ != nullptr, "LockedBlockStore needs a delegate");
@@ -148,6 +157,17 @@ void LockedBlockStore::put_batch(
 void LockedBlockStore::drop_payload_cache() const {
   std::lock_guard lock(mu_);
   delegate_->drop_payload_cache();
+}
+
+bool LockedBlockStore::for_each_key(
+    const std::function<void(const BlockKey&)>& fn) const {
+  std::lock_guard lock(mu_);
+  return delegate_->for_each_key(fn);
+}
+
+void LockedBlockStore::rescan() {
+  std::lock_guard lock(mu_);
+  delegate_->rescan();
 }
 
 void LockedBlockStore::set_observer(Observer* observer) {

@@ -50,6 +50,9 @@ class ConcurrentBlockStore final : public BlockStore {
   void for_each(
       const std::function<void(const BlockKey&, const Bytes&)>& fn) const;
 
+  bool for_each_key(
+      const std::function<void(const BlockKey&)>& fn) const override;
+
   std::size_t stripe_count() const noexcept { return stripes_.size(); }
 
  private:
@@ -80,6 +83,9 @@ class LockedBlockStore final : public BlockStore {
   void put_batch(std::vector<std::pair<BlockKey, Bytes>> items) override;
   bool thread_safe() const noexcept override { return true; }
   void drop_payload_cache() const override;
+  bool for_each_key(
+      const std::function<void(const BlockKey&)>& fn) const override;
+  void rescan() override;
   /// Observation happens at the delegate (where the mutation lands), so
   /// each put/erase notifies exactly once; observer() reads back from
   /// the delegate accordingly.

@@ -36,11 +36,22 @@ DisasterResult AeScheme::run_disaster(std::uint64_t n_data,
   result.data_blocks = n;
 
   // --- placement + disaster ----------------------------------------------
+  // kStrand is per lattice key and goes through the shared cluster
+  // placement (identical to what a real ClusterStore routes); the flat
+  // policies keep the paper's historical sequential-draw behaviour.
   Rng rng(config.seed);
-  const std::vector<LocationId> data_loc =
-      place_blocks(n, config.n_locations, config.placement, rng);
-  const std::vector<LocationId> parity_loc =
-      place_blocks(alpha * n, config.n_locations, config.placement, rng);
+  std::vector<LocationId> data_loc;
+  std::vector<LocationId> parity_loc;
+  if (config.placement == PlacementPolicy::kStrand) {
+    LatticePlacement placement = place_lattice_blocks(
+        params_, n, config.n_locations, config.placement, config.seed);
+    data_loc = std::move(placement.data);
+    parity_loc = std::move(placement.parity);
+  } else {
+    data_loc = place_blocks(n, config.n_locations, config.placement, rng);
+    parity_loc =
+        place_blocks(alpha * n, config.n_locations, config.placement, rng);
+  }
   const std::vector<std::uint8_t> failed =
       draw_failed_locations(config.n_locations, config.failed_fraction, rng);
 

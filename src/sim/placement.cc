@@ -12,6 +12,9 @@ std::vector<LocationId> place_blocks(std::uint64_t count,
                                      std::uint32_t n_locations,
                                      PlacementPolicy policy, Rng& rng) {
   AEC_CHECK_MSG(n_locations >= 1, "need at least one location");
+  AEC_CHECK_MSG(policy != PlacementPolicy::kStrand,
+                "strand placement is per lattice key, not flat sequence "
+                "position; use place_lattice_blocks");
   std::vector<LocationId> locations(count);
   if (policy == PlacementPolicy::kRoundRobin) {
     for (std::uint64_t b = 0; b < count; ++b)
@@ -21,6 +24,28 @@ std::vector<LocationId> place_blocks(std::uint64_t count,
       locations[b] = static_cast<LocationId>(rng.uniform(n_locations));
   }
   return locations;
+}
+
+LatticePlacement place_lattice_blocks(const CodeParams& params,
+                                      std::uint64_t n_nodes,
+                                      std::uint32_t n_locations,
+                                      PlacementPolicy policy,
+                                      std::uint64_t seed) {
+  AEC_CHECK_MSG(n_locations >= 1, "need at least one location");
+  LatticePlacement placement;
+  placement.data.resize(n_nodes);
+  placement.parity.resize(params.alpha() * n_nodes);
+  for (std::uint64_t b = 0; b < n_nodes; ++b)
+    placement.data[b] = cluster::place_block(
+        BlockKey::data(static_cast<NodeIndex>(b + 1)), n_locations, policy,
+        seed);
+  const auto& classes = params.classes();
+  for (std::uint32_t c = 0; c < params.alpha(); ++c)
+    for (std::uint64_t b = 0; b < n_nodes; ++b)
+      placement.parity[c * n_nodes + b] = cluster::place_block(
+          BlockKey::parity(Edge{classes[c], static_cast<NodeIndex>(b + 1)}),
+          n_locations, policy, seed);
+  return placement;
 }
 
 std::vector<std::uint8_t> draw_failed_locations(std::uint32_t n_locations,

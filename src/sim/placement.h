@@ -12,12 +12,33 @@
 
 namespace aec::sim {
 
-/// Assigns `count` blocks to locations. kRandom: independent uniform
-/// draws (the paper's choice — collisions within a stripe are possible
-/// and measured). kRoundRobin: block b → b mod n_locations.
+/// Assigns `count` blocks to locations by flat sequence position.
+/// kRandom: independent uniform draws (the paper's choice — collisions
+/// within a stripe are possible and measured). kRoundRobin: block
+/// b → b mod n_locations. kStrand is rejected here: strand awareness
+/// needs lattice keys, not flat positions — use place_lattice_blocks.
 std::vector<LocationId> place_blocks(std::uint64_t count,
                                      std::uint32_t n_locations,
                                      PlacementPolicy policy, Rng& rng);
+
+/// Per-key lattice placement: data[b] (b 0-based) is the location of
+/// d_{b+1}, parity[c·n + b] the location of p_{classes[c], b+1} — the
+/// arrays AeScheme feeds its availability map from. Every entry comes
+/// from cluster::place_block, the SAME function the multi-node
+/// ClusterStore routes real bytes through, so a simulated disaster and a
+/// real node failure see identical block→node maps (supports all three
+/// policies; kRandom here is the stateless seeded hash, not the flat
+/// sequential draw above).
+struct LatticePlacement {
+  std::vector<LocationId> data;
+  std::vector<LocationId> parity;
+};
+
+LatticePlacement place_lattice_blocks(const CodeParams& params,
+                                      std::uint64_t n_nodes,
+                                      std::uint32_t n_locations,
+                                      PlacementPolicy policy,
+                                      std::uint64_t seed);
 
 /// The failed-location set of a disaster: ceil(fraction · n) distinct
 /// locations drawn without replacement. Returned as a membership bitmap

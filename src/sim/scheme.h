@@ -10,6 +10,8 @@
 #include <memory>
 #include <string>
 
+#include "cluster/placement.h"
+
 namespace aec::sim {
 
 using LocationId = std::uint32_t;
@@ -21,8 +23,12 @@ enum class MaintenanceMode { kFull, kMinimal };
 
 /// Block placement policy (paper §V-C "Block Placements": the evaluation
 /// uses random placement; round-robin is the earlier work's policy and is
-/// ablated in bench_ablation_placement).
-enum class PlacementPolicy { kRandom, kRoundRobin };
+/// ablated in bench_ablation_placement; strand is the Fig 13 failure-
+/// domain-aware layout). The enum is the cluster layer's: the simulation
+/// and the real multi-node ClusterStore share one placement vocabulary —
+/// and, for the per-key policies, one implementation (see
+/// cluster::place_block / sim::place_lattice_blocks).
+using PlacementPolicy = cluster::PlacementPolicy;
 
 struct DisasterConfig {
   std::uint32_t n_locations = 100;

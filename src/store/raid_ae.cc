@@ -92,9 +92,8 @@ class RaidAeArray::ArrayStore final : public BlockStore {
     std::uint64_t sum = 0;
     for (const auto& [key, slot] : blocks_) {
       if (!key.is_parity()) continue;
-      std::uint64_t h = 1469598103934665603ull;
-      for (std::uint8_t b : slot.payload) h = (h ^ b) * 1099511628211ull;
-      sum ^= h ^ (static_cast<std::uint64_t>(key.index) << 8);
+      sum ^= fnv1a64(slot.payload) ^
+             (static_cast<std::uint64_t>(key.index) << 8);
     }
     return sum;
   }

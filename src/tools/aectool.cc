@@ -1,23 +1,33 @@
 // aectool — command-line front end for redundant archives.
 //
-//   aectool init   --root DIR [--code AE(3,2,5)] [--store file]
-//                  [--block-size 4096]
-//   aectool put    --root DIR --name NAME [--threads N] FILE
-//   aectool get    --root DIR --name NAME [--threads N] [-o OUT]
-//   aectool ls     --root DIR
-//   aectool stat   --root DIR
-//   aectool scrub  --root DIR [--threads N]
-//   aectool damage --root DIR --fraction 0.2 [--seed 7]
+//   aectool init    --root DIR [--code AE(3,2,5)] [--store file]
+//                   [--block-size 4096]
+//   aectool put     --root DIR --name NAME [--threads N] FILE
+//   aectool get     --root DIR --name NAME [--threads N] [-o OUT]
+//   aectool ls      --root DIR
+//   aectool stat    --root DIR
+//   aectool scrub   --root DIR [--threads N]
+//   aectool damage  --root DIR --fraction 0.2 [--seed 7]
+//   aectool reindex --root DIR
+//   aectool node    <fail|heal|rebuild|stat> --root DIR [--node K]
+//                   [--threads N]
 //
 // `--code` accepts any registered codec spec — AE(α,s,p) entanglement,
 // RS(k,m) Reed-Solomon stripes, REP(n) replication — and `--store` any
-// registered *durable* store backend ("file", "sharded(8)"; the
-// library's ephemeral "mem" is rejected here); both are recorded in the
-// manifest, so every later command rebuilds the same layout. `damage` deletes random block files (testing aid); `scrub`
-// repairs everything recoverable and runs the integrity scan; `stat`
-// prints the availability census from the incremental index. `--threads`
-// sizes the execution engine (worker pool) for put/get/scrub — the
-// stored bytes are identical at every thread count.
+// registered *durable* store backend ("file", "sharded(8)",
+// "cluster(4,strand,file)"; anything built on the library's ephemeral
+// "mem" is rejected here); both are recorded in the manifest, so every
+// later command rebuilds the same layout. `damage` deletes random block
+// files (testing aid); `scrub` repairs everything recoverable and runs
+// the integrity scan; `stat` prints the availability census from the
+// incremental index; `reindex` rescans the store and reseeds the index
+// (recovery from out-of-band damage the index cannot observe). The
+// `node` subcommands drive multi-node cluster archives: fail/heal
+// inject whole-failure-domain outages, rebuild re-materializes a failed
+// node onto a replacement backend, stat prints the per-node census.
+// `--threads` sizes the execution engine (worker pool) for
+// put/get/scrub/rebuild — the stored bytes are identical at every
+// thread count.
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -36,21 +46,28 @@ using namespace aec;
 using namespace aec::tools;
 
 [[noreturn]] void usage() {
-  std::fprintf(stderr,
-               "usage: aectool <init|put|get|ls|stat|scrub|damage>"
-               " --root DIR [options]\n"
-               "  init   --code SPEC --store STORE --block-size N\n"
-               "         create an archive\n"
-               "         (SPEC: AE(a,s,p) | RS(k,m) | REP(n);"
-               " default AE(3,2,5))\n"
-               "         (STORE: file | sharded(N); default file)\n"
-               "  put    --name NAME [--threads N] FILE\n"
-               "  get    --name NAME [--threads N] [-o OUT]\n"
-               "  ls                                  list archived files\n"
-               "  stat                                archive + availability"
-               " summary\n"
-               "  scrub  [--threads N]                repair + integrity scan\n"
-               "  damage --fraction F [--seed S]      delete random blocks\n");
+  std::fprintf(
+      stderr,
+      "usage: aectool <init|put|get|ls|stat|scrub|damage|reindex|node>"
+      " --root DIR [options]\n"
+      "  init    --code SPEC --store STORE --block-size N\n"
+      "          create an archive\n"
+      "          (SPEC: AE(a,s,p) | RS(k,m) | REP(n);"
+      " default AE(3,2,5))\n"
+      "          (STORE: file | sharded(N) |"
+      " cluster(N,random|rr|strand,CHILD[,seed]); default file)\n"
+      "  put     --name NAME [--threads N] FILE\n"
+      "  get     --name NAME [--threads N] [-o OUT]\n"
+      "  ls                                  list archived files\n"
+      "  stat                                archive + availability"
+      " summary\n"
+      "  scrub   [--threads N]               repair + integrity scan\n"
+      "  damage  --fraction F [--seed S]     delete random blocks\n"
+      "  reindex                             rescan store + reseed index\n"
+      "  node fail    --node K               take a cluster node down\n"
+      "  node heal    --node K               bring it back (data intact)\n"
+      "  node rebuild --node K [--threads N] replace + re-materialize it\n"
+      "  node stat                           per-node census\n");
   std::exit(2);
 }
 
@@ -71,6 +88,8 @@ const std::set<std::string>& allowed_options(const std::string& command) {
       {"stat", {"--root"}},
       {"scrub", {"--root", "--threads"}},
       {"damage", {"--root", "--fraction", "--seed"}},
+      {"reindex", {"--root"}},
+      {"node", {"--root", "--node", "--threads"}},
   };
   const auto it = allowed.find(command);
   if (it == allowed.end()) {
@@ -131,11 +150,14 @@ int run(const Args& args) {
         store_it == args.options.end() ? std::string() : store_it->second;
     if (!store_spec.empty()) {
       // The library allows "mem" (tests, simulations), but a CLI archive
-      // must survive the process: an in-memory backend would report
-      // success and lose every block at exit.
-      AEC_CHECK_MSG(parse_store_spec(store_spec).family != "mem",
-                    "--store mem is ephemeral; a durable archive needs "
-                    "file or sharded(N)");
+      // must survive the process: an in-memory backend — even as a
+      // cluster child — would report success and lose every block at
+      // exit.
+      AEC_CHECK_MSG(store_spec_is_durable(store_spec),
+                    "--store '" << store_spec
+                                << "' is ephemeral; a durable archive "
+                                   "needs file, sharded(N) or a cluster "
+                                   "of them");
     }
     const auto bs_it = args.options.find("--block-size");
     const std::size_t block_size =
@@ -233,6 +255,14 @@ int run(const Args& args) {
   }
   if (args.command == "scrub") {
     const ScrubReport report = archive->scrub();
+    // Repairs routed to a down node were staged in volatile memory: the
+    // scrub result is real (recoverability proven, reads work through
+    // the staging overlay) but nothing is durable on the dead domain.
+    if (archive->cluster() != nullptr &&
+        archive->cluster()->any_node_down())
+      std::printf("NOTE: a cluster node is down — repairs routed to it "
+                  "are staged in memory only and vanish at exit; run "
+                  "'node rebuild' (or 'node heal') to persist them\n");
     std::printf("repaired    : %llu data + %llu parity blocks in %u "
                 "round(s)\n",
                 static_cast<unsigned long long>(
@@ -264,6 +294,76 @@ int run(const Args& args) {
     std::printf("destroyed %llu block file(s)\n",
                 static_cast<unsigned long long>(destroyed));
     return 0;
+  }
+  if (args.command == "reindex") {
+    const std::uint64_t missing = archive->reindex();
+    std::printf("reindexed: %llu block(s) missing\n",
+                static_cast<unsigned long long>(missing));
+    return 0;
+  }
+  if (args.command == "node") {
+    AEC_CHECK_MSG(args.positional.size() == 1,
+                  "node wants exactly one subcommand "
+                  "(fail | heal | rebuild | stat)");
+    const std::string& sub = args.positional[0];
+    auto* cluster = archive->cluster();
+    AEC_CHECK_MSG(cluster != nullptr,
+                  "store '" << archive->store_spec()
+                            << "' is not a cluster; node commands need "
+                               "a cluster(...) archive");
+    if (sub == "stat") {
+      std::printf("cluster     : %u node(s), %s placement, child %s\n",
+                  cluster->node_count(),
+                  aec::cluster::to_string(cluster->policy()),
+                  cluster->child_spec().c_str());
+      for (std::uint32_t k = 0; k < cluster->node_count(); ++k)
+        std::printf("  node %-4u %-6s %12llu block(s)  domain %s\n", k,
+                    cluster->node_down(k) ? "DOWN" : "up",
+                    static_cast<unsigned long long>(cluster->node_blocks(k)),
+                    cluster->node_domain(k).c_str());
+      return 0;
+    }
+    const std::string& node_text = option("--node");
+    const bool numeric =
+        !node_text.empty() && node_text.size() <= 4 &&
+        node_text.find_first_not_of("0123456789") == std::string::npos;
+    AEC_CHECK_MSG(numeric, "--node wants a node id, got '" << node_text
+                                                           << "'");
+    const auto node = static_cast<std::uint32_t>(std::stoul(node_text));
+    if (sub == "fail") {
+      archive->fail_node(node);
+      std::printf("node %u is down (%llu block(s) unavailable)\n", node,
+                  static_cast<unsigned long long>(
+                      archive->missing_blocks()));
+      return 0;
+    }
+    if (sub == "heal") {
+      archive->heal_node(node);
+      std::printf("node %u is back up (%llu block(s) still missing)\n",
+                  node,
+                  static_cast<unsigned long long>(
+                      archive->missing_blocks()));
+      return 0;
+    }
+    if (sub == "rebuild") {
+      const RepairReport report = archive->rebuild_node(node);
+      std::printf("rebuilt node %u: %llu block(s) re-materialized in %u "
+                  "round(s), %.3f s (%.0f blocks/s)\n",
+                  node,
+                  static_cast<unsigned long long>(
+                      report.blocks_repaired_total()),
+                  report.rounds, report.wall_seconds,
+                  report.blocks_per_second());
+      const std::uint64_t unrecovered =
+          report.nodes_unrecovered + report.edges_unrecovered;
+      if (unrecovered > 0)
+        std::printf("unrecovered : %llu block(s)\n",
+                    static_cast<unsigned long long>(unrecovered));
+      return unrecovered == 0 ? 0 : 1;
+    }
+    std::fprintf(stderr, "error: unknown node subcommand '%s'\n",
+                 sub.c_str());
+    usage();
   }
   usage();
 }

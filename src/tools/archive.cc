@@ -251,6 +251,7 @@ Archive::Archive(fs::path root, std::shared_ptr<const Codec> codec,
       engine_(engine ? std::move(engine) : Engine::serial()),
       files_(std::move(files)) {
   store_ = make_store(store_spec_, root_);
+  cluster_ = dynamic_cast<cluster::ClusterStore*>(store_.get());
   if (store_->thread_safe()) {
     session_store_ = store_.get();
   } else {
@@ -266,16 +267,29 @@ Archive::Archive(fs::path root, std::shared_ptr<const Codec> codec,
   session_ = engine_->open_session(codec_, session_store_, block_size_,
                                    resume_count);
   // …then reseed from authoritative store contents: damage inflicted
-  // while the archive was closed predates the observer. One O(lattice)
-  // census at open buys O(damage) scrubs afterwards.
+  // while the archive was closed predates the observer. A fresh
+  // clean-close sidecar replays the missing set directly; otherwise one
+  // O(lattice) census at open buys O(damage) scrubs afterwards.
   avail_index_.clear();
-  session_->for_each_expected_key([&](const BlockKey& key) {
-    if (!store_->contains(key)) avail_index_.on_block(key, false);
-  });
+  opened_from_sidecar_ = load_availability_sidecar();
+  if (!opened_from_sidecar_) seed_availability_index();
   session_->attach_availability_index(&avail_index_);
 }
 
-Archive::~Archive() = default;
+Archive::~Archive() {
+  try {
+    save_availability_sidecar();
+  } catch (...) {
+    // Best effort: no sidecar just means the next open pays the full
+    // seeding walk.
+  }
+}
+
+void Archive::seed_availability_index() {
+  session_->for_each_expected_key([&](const BlockKey& key) {
+    if (!store_->contains(key)) avail_index_.on_block(key, false);
+  });
+}
 
 std::unique_ptr<Archive> Archive::create(fs::path root,
                                          const std::string& codec_spec,
@@ -369,6 +383,12 @@ void Archive::save_manifest() const {
 FileWriter Archive::begin_file(const std::string& name) {
   AEC_CHECK_MSG(!writer_open_,
                 "begin_file: another FileWriter is open on this archive");
+  // Ingest while a cluster node is down would stage the node's share of
+  // the new blocks in volatile memory and report success — silent data
+  // loss at process exit. Repair writes may stage; new content may not.
+  AEC_CHECK_MSG(cluster_ == nullptr || !cluster_->any_node_down(),
+                "begin_file: archive is degraded (a cluster node is "
+                "down); heal or rebuild it before ingesting new files");
   for (const FileEntry& entry : files_)
     AEC_CHECK_MSG(entry.name != name,
                   "file '" << name << "' already archived");
@@ -464,6 +484,183 @@ std::uint64_t Archive::inject_damage(double fraction, std::uint64_t seed) {
     if (rng.bernoulli(fraction) && store_->erase(key)) ++destroyed;
   });
   return destroyed;
+}
+
+// --- availability sidecar ---------------------------------------------------
+//
+//   aec-availability v1
+//   blocks <data blocks>        \ freshness guards: both must match the
+//   present <stored blocks>     / reopened archive or the sidecar is stale
+//   missing <count>
+//   m d <i> | m p <H|RH|LH> <i>
+//   end
+//
+// The sidecar is consumed (deleted) the moment it is read, and written
+// again only on clean close — so it can never outlive the state it
+// describes by more than one session, and a crash falls back to the
+// full seeding walk.
+
+namespace {
+
+constexpr const char* kSidecarName = "availability.txt";
+
+std::optional<StrandClass> parse_strand_class(const std::string& s) {
+  if (s == "H") return StrandClass::kHorizontal;
+  if (s == "RH") return StrandClass::kRightHanded;
+  if (s == "LH") return StrandClass::kLeftHanded;
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool Archive::load_availability_sidecar() {
+  const fs::path path = root_ / kSidecarName;
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  // Consume-on-read: whatever happens below, this sidecar is spent.
+  const auto discard = [&] {
+    in.close();
+    std::error_code ec;
+    fs::remove(path, ec);
+  };
+
+  std::string header;
+  std::getline(in, header);
+  if (header != "aec-availability v1") {
+    discard();
+    return false;
+  }
+  std::uint64_t blocks = 0;
+  std::uint64_t present = 0;
+  std::uint64_t missing = 0;
+  bool saw_end = false;
+  std::vector<BlockKey> keys;
+  std::string line;
+  bool ok = true;
+  while (ok && std::getline(in, line)) {
+    std::istringstream row(line);
+    std::string tag;
+    row >> tag;
+    if (saw_end) {
+      ok = false;
+    } else if (tag == "blocks") {
+      row >> blocks;
+    } else if (tag == "present") {
+      row >> present;
+    } else if (tag == "missing") {
+      row >> missing;
+    } else if (tag == "m") {
+      std::string kind;
+      row >> kind;
+      BlockKey key;
+      if (kind == "d") {
+        row >> key.index;
+      } else if (kind == "p") {
+        std::string cls;
+        row >> cls >> key.index;
+        const auto parsed = parse_strand_class(cls);
+        if (!parsed) {
+          ok = false;
+          continue;
+        }
+        key = BlockKey{BlockKey::Kind::kParity, *parsed, key.index};
+      } else {
+        ok = false;
+        continue;
+      }
+      keys.push_back(key);
+    } else if (tag == "end") {
+      saw_end = true;
+    } else if (!tag.empty()) {
+      ok = false;
+    }
+    if (row.fail()) ok = false;
+  }
+  discard();
+
+  // Freshness guards: the data-block count ties the sidecar to this
+  // manifest generation; the stored-block count catches any external
+  // mutation while the archive was closed that changes how many blocks
+  // exist (a directory scan the child stores already did at open, so
+  // the comparison is free). An exactly offsetting add+remove pair is
+  // indistinguishable by count — a content check would cost as much as
+  // the seeding walk the sidecar exists to skip — so after manual
+  // surgery on block files run reindex(), same as for open-time
+  // out-of-band damage.
+  if (!ok || !saw_end || keys.size() != missing ||
+      blocks != session_->size() || present != store_->size())
+    return false;
+  for (const BlockKey& key : keys)
+    if (!session_->is_expected_key(key)) return false;
+  for (const BlockKey& key : keys) avail_index_.on_block(key, false);
+  return true;
+}
+
+void Archive::save_availability_sidecar() const {
+  if (!fs::exists(root_)) return;
+  std::vector<BlockKey> keys;
+  for (const BlockKey& key : avail_index_.missing_sorted())
+    if (session_->is_expected_key(key)) keys.push_back(key);
+  const fs::path tmp = root_ / "availability.txt.tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.good()) return;
+    out << "aec-availability v1\n";
+    out << "blocks " << session_->size() << "\n";
+    out << "present " << store_->size() << "\n";
+    out << "missing " << keys.size() << "\n";
+    for (const BlockKey& key : keys) {
+      if (key.is_data())
+        out << "m d " << key.index << "\n";
+      else
+        out << "m p " << to_string(key.cls) << " " << key.index << "\n";
+    }
+    out << "end\n";
+    if (!out.good()) return;
+  }
+  std::error_code ec;
+  fs::rename(tmp, root_ / kSidecarName, ec);
+}
+
+std::uint64_t Archive::reindex() {
+  store_->rescan();
+  avail_index_.clear();
+  seed_availability_index();
+  return missing_blocks();
+}
+
+// --- multi-node (cluster) operations ----------------------------------------
+
+void Archive::fail_node(std::uint32_t node) {
+  AEC_CHECK_MSG(cluster_ != nullptr,
+                "fail_node: store '" << store_spec_ << "' is not a cluster");
+  cluster_->fail_node(node);
+}
+
+void Archive::heal_node(std::uint32_t node) {
+  AEC_CHECK_MSG(cluster_ != nullptr,
+                "heal_node: store '" << store_spec_ << "' is not a cluster");
+  cluster_->heal_node(node);
+}
+
+RepairReport Archive::rebuild_node(std::uint32_t node) {
+  AEC_CHECK_MSG(cluster_ != nullptr, "rebuild_node: store '"
+                                         << store_spec_
+                                         << "' is not a cluster");
+  AEC_CHECK_MSG(cluster_->node_down(node),
+                "rebuild_node: node " << node
+                                      << " is up; fail it first (or heal "
+                                         "it if its data is intact)");
+  cluster_->replace_node(node);
+  // Enumerate the lost node's expected keys via the placement map. The
+  // index already tracks in-process failures; this defensive sweep also
+  // catches staleness the index cannot see (an externally wiped node).
+  // Metadata-only: contains() is a map probe, no I/O.
+  session_->for_each_expected_key([&](const BlockKey& key) {
+    if (cluster_->node_of(key) == node && !store_->contains(key))
+      avail_index_.on_block(key, false);
+  });
+  return session_->repair_all();
 }
 
 }  // namespace aec::tools

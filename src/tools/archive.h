@@ -13,7 +13,23 @@
 // An AvailabilityIndex rides along as the store's mutation observer:
 // damage censuses (missing_blocks, aectool stat) and repair planning
 // (scrub) cost O(damage) instead of a full store scan — the index is
-// seeded once at open and every put/erase keeps it current.
+// seeded at open and every put/erase keeps it current. A clean close
+// persists the index as a manifest sidecar (<root>/availability.txt);
+// the next open loads it instead of walking the whole lattice when its
+// freshness guards (data-block count + stored-block count) still match,
+// and falls back to the full seeding walk otherwise. The sidecar is
+// deleted as soon as it is consumed, so a crash never leaves a stale
+// one behind. Damage inflicted OUT OF BAND while the archive is open
+// (block files deleted externally) is invisible to the index either
+// way — reindex() (aectool reindex) rescans the store and reseeds.
+//
+// When the manifest's store spec is a cluster(...), the archive is
+// multi-node: fail_node/heal_node inject whole-failure-domain outages
+// (the cluster announces the damage to the index, so scrub plans node
+// loss exactly like scattered block loss), and rebuild_node() wipes the
+// failed node, builds a replacement backend, and re-materializes every
+// block the placement map assigns to it through the normal repair
+// planner.
 //
 // Manifest (<root>/manifest.txt), version 2:
 //   aec-archive v2
@@ -47,6 +63,7 @@
 #include "api/codec.h"
 #include "api/engine.h"
 #include "api/session.h"
+#include "cluster/cluster_store.h"
 #include "core/codec/availability_index.h"
 #include "core/codec/block_store.h"
 #include "pipeline/concurrent_block_store.h"
@@ -205,6 +222,34 @@ class Archive {
   /// demos/tests). Returns how many blocks were destroyed.
   std::uint64_t inject_damage(double fraction, std::uint64_t seed);
 
+  /// True when the open skipped the O(lattice) seeding walk because a
+  /// fresh availability sidecar was consumed.
+  bool opened_from_sidecar() const noexcept { return opened_from_sidecar_; }
+
+  /// Re-reads authoritative store presence (directory rescan) and
+  /// reseeds the availability index from it — the recovery path for
+  /// out-of-band damage the index cannot observe. Returns the missing
+  /// count afterwards.
+  std::uint64_t reindex();
+
+  // --- multi-node archives (cluster store backends) -------------------------
+
+  /// The cluster backend, or nullptr when the archive's store is not a
+  /// cluster(...). (The index observes the cluster, so fault injection
+  /// through this pointer keeps censuses and repair planning accurate.)
+  cluster::ClusterStore* cluster() const noexcept { return cluster_; }
+
+  /// Fault injection on a cluster archive (CheckError otherwise).
+  void fail_node(std::uint32_t node);
+  void heal_node(std::uint32_t node);
+
+  /// Replaces a failed node with a fresh backend and re-materializes
+  /// every block the placement map assigns to it by driving the repair
+  /// planner (RapidRAID-style per-node rebuild: cost scales with the
+  /// node's share of the lattice, not the archive). The node must be
+  /// down. Returns the repair report of the rebuild pass.
+  RepairReport rebuild_node(std::uint32_t node);
+
  private:
   friend class FileWriter;
 
@@ -214,6 +259,14 @@ class Archive {
           std::shared_ptr<Engine> engine);
 
   void save_manifest() const;
+
+  /// Loads + deletes the availability sidecar; true when it was fresh
+  /// and the missing set was applied (seeding walk can be skipped).
+  bool load_availability_sidecar();
+  /// Persists the current missing set (clean-close path; best effort).
+  void save_availability_sidecar() const;
+  /// Full O(lattice) index reseed from store presence.
+  void seed_availability_index();
 
   std::filesystem::path root_;
   std::shared_ptr<const Codec> codec_;
@@ -236,6 +289,9 @@ class Archive {
   /// The one engine-dispatched encode/repair path (AE lattice pipeline
   /// or codec stripes — see Engine::open_session).
   std::unique_ptr<CodecSession> session_;
+  /// Downcast of store_ when the backend is a cluster (else null).
+  cluster::ClusterStore* cluster_ = nullptr;
+  bool opened_from_sidecar_ = false;
   bool writer_open_ = false;
 };
 
