@@ -153,7 +153,7 @@ int run(std::uint64_t file_mib, std::size_t block_size, bool json) {
     all_ok = all_ok && ok;
     if (json) {
       std::printf(
-          "{\"bench\":\"archive_ingest\",\"phase\":\"%s\","
+          "{\"schema_version\":1,\"bench\":\"archive_ingest\",\"phase\":\"%s\","
           "\"streamed\":%s,\"threads\":%zu,\"store\":\"%s\","
           "\"file_mib\":%llu,\"block_size\":%zu,\"mb_per_s\":%.1f,"
           "\"wall_s\":%.3f,\"peak_rss_mib\":%.1f,\"ok\":%s}\n",

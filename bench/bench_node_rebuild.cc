@@ -118,7 +118,8 @@ int run(std::uint64_t blocks, std::size_t block_size, bool json) {
                                 (1024.0 * 1024.0);
       if (json) {
         std::printf(
-            "{\"bench\":\"node_rebuild\",\"nodes\":%u,\"policy\":\"%s\","
+            "{\"schema_version\":1,\"bench\":\"node_rebuild\",\"nodes\":%u,"
+            "\"policy\":\"%s\","
             "\"blocks\":%llu,\"block_size\":%zu,\"node_blocks\":%zu,"
             "\"rebuild_mb_per_s\":%.1f,\"rounds\":%u,\"wall_s\":%.3f,"
             "\"lost\":%llu,\"ok\":%s}\n",

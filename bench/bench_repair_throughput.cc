@@ -54,7 +54,7 @@ void print_json(const std::string& params, const char* pattern,
                 const char* backend, std::size_t threads, double mb_per_s,
                 double speedup, std::uint32_t rounds, bool identical) {
   std::printf(
-      "{\"bench\":\"repair_throughput\",\"params\":\"%s\","
+      "{\"schema_version\":1,\"bench\":\"repair_throughput\",\"params\":\"%s\","
       "\"pattern\":\"%s\",\"backend\":\"%s\",\"threads\":%zu,"
       "\"mb_per_s\":%.1f,\"speedup\":%.3f,\"rounds\":%u,"
       "\"identical\":%s}\n",

@@ -22,6 +22,7 @@
 
 #include "api/codec.h"
 #include "api/session.h"
+#include "obs/metrics.h"
 #include "pipeline/parallel_encoder.h"
 #include "pipeline/thread_pool.h"
 
@@ -64,6 +65,13 @@ class Engine : public std::enable_shared_from_this<Engine> {
 
   /// Resolved default store spec for archives ("file" unless configured).
   std::string store_spec() const;
+
+  /// Snapshot of the process-wide metrics registry (pool queue waits,
+  /// encode/repair wave timings, store cache tallies, …). Exact once the
+  /// pool is idle; see obs/metrics.h for the consistency model.
+  obs::MetricsSnapshot metrics() const {
+    return obs::MetricsRegistry::global().snapshot();
+  }
 
   /// Builds the session type matching the codec family over this
   /// engine's pool. `codec` is shared with the caller; `store` must

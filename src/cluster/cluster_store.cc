@@ -196,6 +196,7 @@ void ClusterStore::save_state() const {
 
 void ClusterStore::put(const BlockKey& key, Bytes value) {
   Node& n = node_for(key);
+  n.count_write(value.size());
   std::shared_lock lock(n.mu);
   if (n.staged) {
     std::lock_guard staged_lock(n.staged_mu);
@@ -208,11 +209,15 @@ void ClusterStore::put(const BlockKey& key, Bytes value) {
 const Bytes* ClusterStore::find(const BlockKey& key) const {
   Node& n = node_for(key);
   std::shared_lock lock(n.mu);
+  const Bytes* value = nullptr;
   if (n.staged) {
     std::lock_guard staged_lock(n.staged_mu);
-    return n.staged->find(key);
+    value = n.staged->find(key);
+  } else {
+    value = n.child->find(key);
   }
-  return n.child->find(key);
+  if (value != nullptr) n.count_read(value->size());
+  return value;
 }
 
 bool ClusterStore::contains(const BlockKey& key) const {
@@ -253,13 +258,16 @@ std::uint64_t ClusterStore::size() const {
 std::optional<Bytes> ClusterStore::get_copy(const BlockKey& key) const {
   Node& n = node_for(key);
   std::shared_lock lock(n.mu);
+  std::optional<Bytes> result;
   if (n.staged) {
     std::lock_guard staged_lock(n.staged_mu);
     const Bytes* value = n.staged->find(key);
-    if (value == nullptr) return std::nullopt;
-    return *value;
+    if (value != nullptr) result = *value;
+  } else {
+    result = n.child->get_copy(key);
   }
-  return n.child->get_copy(key);
+  if (result) n.count_read(result->size());
+  return result;
 }
 
 std::vector<std::optional<Bytes>> ClusterStore::get_batch(
@@ -277,7 +285,10 @@ std::vector<std::optional<Bytes>> ClusterStore::get_batch(
       std::lock_guard staged_lock(n.staged_mu);
       for (const std::size_t i : by_node[k]) {
         const Bytes* value = n.staged->find(keys[i]);
-        if (value != nullptr) payloads[i] = *value;
+        if (value != nullptr) {
+          n.count_read(value->size());
+          payloads[i] = *value;
+        }
       }
       continue;
     }
@@ -285,8 +296,10 @@ std::vector<std::optional<Bytes>> ClusterStore::get_batch(
     sub.reserve(by_node[k].size());
     for (const std::size_t i : by_node[k]) sub.push_back(keys[i]);
     std::vector<std::optional<Bytes>> got = n.child->get_batch(sub);
-    for (std::size_t j = 0; j < by_node[k].size(); ++j)
+    for (std::size_t j = 0; j < by_node[k].size(); ++j) {
+      if (got[j]) n.count_read(got[j]->size());
       payloads[by_node[k][j]] = std::move(got[j]);
+    }
   }
   return payloads;
 }
@@ -299,6 +312,7 @@ void ClusterStore::put_batch(std::vector<std::pair<BlockKey, Bytes>> items) {
   for (std::size_t k = 0; k < nodes_.size(); ++k) {
     if (by_node[k].empty()) continue;
     Node& n = *nodes_[k];
+    for (const auto& [key, value] : by_node[k]) n.count_write(value.size());
     std::shared_lock lock(n.mu);
     if (n.staged) {
       std::lock_guard staged_lock(n.staged_mu);
@@ -376,6 +390,34 @@ bool ClusterStore::any_node_down() const {
     if (node_ptr->staged) return true;
   }
   return false;
+}
+
+NodeTraffic ClusterStore::node_traffic(std::uint32_t node) const {
+  AEC_CHECK_MSG(node < nodes_.size(), "no node " << node);
+  const Node& n = *nodes_[node];
+  NodeTraffic t;
+  t.blocks_read = n.blocks_read.load(std::memory_order_relaxed);
+  t.bytes_read = n.bytes_read.load(std::memory_order_relaxed);
+  t.blocks_written = n.blocks_written.load(std::memory_order_relaxed);
+  t.bytes_written = n.bytes_written.load(std::memory_order_relaxed);
+  return t;
+}
+
+std::vector<NodeTraffic> ClusterStore::traffic() const {
+  std::vector<NodeTraffic> all;
+  all.reserve(nodes_.size());
+  for (std::uint32_t k = 0; k < nodes_.size(); ++k)
+    all.push_back(node_traffic(k));
+  return all;
+}
+
+void ClusterStore::reset_traffic() {
+  for (const auto& node_ptr : nodes_) {
+    node_ptr->blocks_read.store(0, std::memory_order_relaxed);
+    node_ptr->bytes_read.store(0, std::memory_order_relaxed);
+    node_ptr->blocks_written.store(0, std::memory_order_relaxed);
+    node_ptr->bytes_written.store(0, std::memory_order_relaxed);
+  }
 }
 
 std::map<std::string, std::uint64_t> ClusterStore::fingerprint(

@@ -42,6 +42,7 @@
 // take exclusively, and the staging overlay by its own mutex).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <map>
@@ -56,6 +57,19 @@
 #include "core/codec/block_store.h"
 
 namespace aec::cluster {
+
+/// Per-node payload traffic since open (or the last reset_traffic()):
+/// what a remote node would have shipped over the wire. Reads count only
+/// blocks actually found; writes count staged bytes too (a repair write
+/// destined for a down node still crosses the network to its staging
+/// buffer). The Dimakis repair-bandwidth accounting diffs this around a
+/// rebuild: survivors' read deltas ARE the repair traffic.
+struct NodeTraffic {
+  std::uint64_t blocks_read = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t blocks_written = 0;
+  std::uint64_t bytes_written = 0;
+};
 
 class ClusterStore final : public BlockStore {
  public:
@@ -120,6 +134,14 @@ class ClusterStore final : public BlockStore {
   void heal_node(std::uint32_t node);
   void replace_node(std::uint32_t node);
 
+  // --- traffic accounting ---------------------------------------------------
+  /// Payload traffic routed through one node since open/reset (relaxed
+  /// atomic counters — exact once mutators quiesce).
+  NodeTraffic node_traffic(std::uint32_t node) const;
+  /// All nodes at once, indexed by node id.
+  std::vector<NodeTraffic> traffic() const;
+  void reset_traffic();
+
   /// key-string → FNV-1a payload fingerprint of every block the cluster
   /// currently serves, optionally restricted to one node — the content
   /// audit the rebuild bench and acceptance tests compare before and
@@ -141,6 +163,21 @@ class ClusterStore final : public BlockStore {
     /// Guards `staged` contents (InMemoryBlockStore is not itself
     /// thread-safe; routed ops only hold the shared node lock).
     mutable std::mutex staged_mu;
+    /// Traffic tallies (NodeTraffic fields, relaxed atomics so routed
+    /// ops never take an extra lock).
+    std::atomic<std::uint64_t> blocks_read{0};
+    std::atomic<std::uint64_t> bytes_read{0};
+    std::atomic<std::uint64_t> blocks_written{0};
+    std::atomic<std::uint64_t> bytes_written{0};
+
+    void count_read(std::uint64_t bytes) noexcept {
+      blocks_read.fetch_add(1, std::memory_order_relaxed);
+      bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+    }
+    void count_write(std::uint64_t bytes) noexcept {
+      blocks_written.fetch_add(1, std::memory_order_relaxed);
+      bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+    }
   };
 
   Node& node(std::uint32_t k) const { return *nodes_[k]; }

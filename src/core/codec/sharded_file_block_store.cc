@@ -40,7 +40,15 @@ std::size_t pinned_shard_count(const fs::path& root, std::size_t requested) {
 
 ShardedFileBlockStore::ShardedFileBlockStore(fs::path root,
                                              std::size_t shards)
-    : root_(std::move(root)) {
+    : root_(std::move(root)),
+      cache_hits_(
+          obs::MetricsRegistry::global().counter("store.sharded.cache_hits")),
+      cache_misses_(obs::MetricsRegistry::global().counter(
+          "store.sharded.cache_misses")),
+      get_batch_blocks_(obs::MetricsRegistry::global().histogram(
+          "store.sharded.get_batch_blocks", obs::Histogram::size_bounds())),
+      put_batch_blocks_(obs::MetricsRegistry::global().histogram(
+          "store.sharded.put_batch_blocks", obs::Histogram::size_bounds())) {
   AEC_CHECK_MSG(shards >= 1, "sharded store needs at least one shard");
   fs::create_directories(root_);
   const std::size_t count = pinned_shard_count(root_, shards);
@@ -135,6 +143,7 @@ void ShardedFileBlockStore::put(const BlockKey& key, Bytes value) {
 
 void ShardedFileBlockStore::put_batch(
     std::vector<std::pair<BlockKey, Bytes>> items) {
+  if (!items.empty()) put_batch_blocks_->observe(items.size());
   // One lock acquisition per touched shard: bucket item offsets by shard
   // first, then drain shard by shard.
   std::vector<std::vector<std::size_t>> buckets(shards_.size());
@@ -152,8 +161,11 @@ void ShardedFileBlockStore::put_batch(
 const Bytes* ShardedFileBlockStore::resolve_locked(
     Shard& shard, const BlockKey& key) const {
   if (!shard.index.contains(key)) return nullptr;
-  if (const auto it = shard.cache.find(key); it != shard.cache.end())
+  if (const auto it = shard.cache.find(key); it != shard.cache.end()) {
+    cache_hits_->add();
     return &it->second;
+  }
+  cache_misses_->add();
   std::ifstream in(path_of(key), std::ios::binary | std::ios::ate);
   if (!in.good()) return nullptr;  // deleted externally
   const std::streamsize bytes = in.tellg();
@@ -210,6 +222,7 @@ std::optional<Bytes> ShardedFileBlockStore::get_copy(
 
 std::vector<std::optional<Bytes>> ShardedFileBlockStore::get_batch(
     const std::vector<BlockKey>& keys) const {
+  if (!keys.empty()) get_batch_blocks_->observe(keys.size());
   std::vector<std::optional<Bytes>> payloads(keys.size());
   std::vector<std::vector<std::size_t>> buckets(shards_.size());
   for (std::size_t j = 0; j < keys.size(); ++j)

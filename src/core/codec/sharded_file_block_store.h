@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/codec/block_store.h"
+#include "obs/metrics.h"
 
 namespace aec {
 
@@ -83,6 +84,13 @@ class ShardedFileBlockStore final : public BlockStore {
 
   std::filesystem::path root_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Global-registry metrics, resolved once at construction. Hit/miss
+  /// tallies are per present-key payload resolution (cache vs disk);
+  /// batch histograms record request sizes in blocks.
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Histogram* get_batch_blocks_;
+  obs::Histogram* put_batch_blocks_;
 };
 
 }  // namespace aec

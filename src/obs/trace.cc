@@ -1,0 +1,88 @@
+#include "obs/trace.h"
+
+namespace aec::obs {
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1) {}
+
+void TraceRing::enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRing::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void TraceRing::record(const TraceEvent& ev) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+    next_ = ring_.size() % capacity_;
+  } else {
+    ring_[next_] = ev;
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Full ring: next_ points at the oldest event.
+    out.insert(out.end(), ring_.begin() + next_, ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + next_);
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::uint64_t TraceRing::now_us() const {
+  if (!enabled()) return 0;
+  const auto delta = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(delta).count());
+}
+
+void TraceRing::dump_jsonl(std::FILE* out) const {
+  const auto evs = events();
+  for (const auto& ev : evs) {
+    std::fprintf(out,
+                 "{\"schema_version\":1,\"name\":\"%s\",\"start_us\":%llu,"
+                 "\"dur_us\":%llu,\"tid\":%u,\"a0\":%llu,\"a1\":%llu}\n",
+                 ev.name, static_cast<unsigned long long>(ev.start_us),
+                 static_cast<unsigned long long>(ev.dur_us), ev.tid,
+                 static_cast<unsigned long long>(ev.a0),
+                 static_cast<unsigned long long>(ev.a1));
+  }
+  std::fprintf(out,
+               "{\"schema_version\":1,\"trace_summary\":{\"events\":%zu,"
+               "\"dropped\":%llu,\"capacity\":%zu}}\n",
+               evs.size(), static_cast<unsigned long long>(dropped()),
+               capacity_);
+}
+
+TraceRing& TraceRing::global() {
+  static TraceRing* ring = new TraceRing();  // never destroyed
+  return *ring;
+}
+
+std::uint32_t TraceSpan::thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace aec::obs

@@ -1,0 +1,134 @@
+// Lightweight span tracing: a bounded in-memory ring of timed events,
+// dumped as JSONL after the fact ("aectool trace <op>").
+//
+// Tracing is OFF by default: a disabled TraceSpan costs one relaxed
+// atomic load and never touches the clock, so span call-sites can stay
+// compiled into the hot paths permanently (the ≤2% overhead budget in
+// ISSUE 6 is spent on counters, not on tracing). When enabled, each
+// finished span appends one fixed-size TraceEvent under a mutex — spans
+// are recorded at wave/batch granularity (dozens to thousands per op),
+// not per block, so the lock is cold.
+//
+// The ring is bounded: once full, the oldest events are overwritten and
+// `dropped()` counts the loss — an archival rebuild cannot OOM the
+// process by tracing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace aec::obs {
+
+/// One completed span. `name` must be a string literal (or otherwise
+/// outlive the ring) — events store the pointer, not a copy, keeping
+/// record() allocation-free.
+struct TraceEvent {
+  const char* name = "";
+  std::uint64_t start_us = 0;  // µs since ring enable (steady clock)
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;  // small per-thread ordinal, not an OS id
+  /// Two free-form payload slots (wave width, batch bytes, node id, …);
+  /// meaning is per span name, documented in README § Observability.
+  std::uint64_t a0 = 0;
+  std::uint64_t a1 = 0;
+};
+
+/// Bounded ring of TraceEvents with an atomic enable flag.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 16384);
+
+  /// Clears the ring and (re)starts the span clock at 0.
+  void enable();
+  void disable();
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one event (no-op while disabled). Overwrites the oldest
+  /// event when full.
+  void record(const TraceEvent& ev);
+
+  /// Copies out the buffered events, oldest first.
+  std::vector<TraceEvent> events() const;
+  /// Events lost to ring wrap since the last enable().
+  std::uint64_t dropped() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// µs since the last enable() on the steady clock (0 when disabled).
+  std::uint64_t now_us() const;
+
+  /// Writes one JSON object per event:
+  ///   {"schema_version":1,"name":…,"start_us":…,"dur_us":…,"tid":…,
+  ///    "a0":…,"a1":…}
+  /// plus a final {"schema_version":1,"trace_summary":…} line carrying
+  /// event/drop totals.
+  void dump_jsonl(std::FILE* out) const;
+
+  /// The process-wide ring every built-in span uses (disabled until
+  /// something — aectool trace, a test — enables it).
+  static TraceRing& global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_{};
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;  // grows to capacity_, then wraps
+  std::size_t next_ = 0;          // ring_ slot the next event lands in
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span against a ring: stamps start on construction, records on
+/// destruction. When the ring is disabled at construction the span is
+/// inert (one relaxed load, no clock reads) — even if the ring gets
+/// enabled mid-span.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRing& ring, const char* name) : ring_(&ring), name_(name) {
+    if (ring_->enabled()) {
+      armed_ = true;
+      start_us_ = ring_->now_us();
+    }
+  }
+  /// Span against the global ring.
+  explicit TraceSpan(const char* name) : TraceSpan(TraceRing::global(), name) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Payload slots, settable any time before destruction.
+  void set_args(std::uint64_t a0, std::uint64_t a1 = 0) noexcept {
+    a0_ = a0;
+    a1_ = a1;
+  }
+
+  ~TraceSpan() {
+    if (!armed_) return;
+    TraceEvent ev;
+    ev.name = name_;
+    ev.start_us = start_us_;
+    ev.dur_us = ring_->now_us() - start_us_;
+    ev.tid = thread_ordinal();
+    ev.a0 = a0_;
+    ev.a1 = a1_;
+    ring_->record(ev);
+  }
+
+  /// Small dense ordinal for the calling thread (0 = first thread seen).
+  static std::uint32_t thread_ordinal();
+
+ private:
+  TraceRing* ring_;
+  const char* name_;
+  bool armed_ = false;
+  std::uint64_t start_us_ = 0;
+  std::uint64_t a0_ = 0;
+  std::uint64_t a1_ = 0;
+};
+
+}  // namespace aec::obs

@@ -1,11 +1,32 @@
 #include "pipeline/parallel_encoder.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
 #include "common/xor_engine.h"
+#include "obs/trace.h"
 
 namespace aec::pipeline {
+
+namespace {
+
+obs::Counter* blocks_counter() {
+  return obs::MetricsRegistry::global().counter("encode.blocks");
+}
+obs::Counter* batches_counter() {
+  return obs::MetricsRegistry::global().counter("encode.batches");
+}
+obs::Histogram* batch_us_histogram() {
+  return obs::MetricsRegistry::global().histogram(
+      "encode.batch_us", obs::Histogram::latency_bounds_us());
+}
+obs::Histogram* batch_blocks_histogram() {
+  return obs::MetricsRegistry::global().histogram(
+      "encode.batch_blocks", obs::Histogram::size_bounds());
+}
+
+}  // namespace
 
 const char* to_string(Schedule schedule) noexcept {
   return schedule == Schedule::kStrands ? "strands" : "waves";
@@ -21,7 +42,11 @@ ParallelEncoder::ParallelEncoder(CodeParams params, std::size_t block_size,
       schedule_(schedule),
       count_(resume_count),
       owned_pool_(std::make_unique<ThreadPool>(threads)),
-      pool_(owned_pool_.get()) {
+      pool_(owned_pool_.get()),
+      blocks_metric_(blocks_counter()),
+      batches_metric_(batches_counter()),
+      batch_us_metric_(batch_us_histogram()),
+      batch_blocks_metric_(batch_blocks_histogram()) {
   AEC_CHECK_MSG(block_size_ > 0, "block size must be positive");
   AEC_CHECK_MSG(store_ != nullptr, "encoder needs a block store");
   for (StrandClass cls : params_.classes())
@@ -37,7 +62,11 @@ ParallelEncoder::ParallelEncoder(CodeParams params, std::size_t block_size,
       store_(store),
       schedule_(schedule),
       count_(resume_count),
-      pool_(pool) {
+      pool_(pool),
+      blocks_metric_(blocks_counter()),
+      batches_metric_(batches_counter()),
+      batch_us_metric_(batch_us_histogram()),
+      batch_blocks_metric_(batch_blocks_histogram()) {
   AEC_CHECK_MSG(block_size_ > 0, "block size must be positive");
   AEC_CHECK_MSG(store_ != nullptr, "encoder needs a block store");
   AEC_CHECK_MSG(pool_ != nullptr, "encoder needs a worker pool");
@@ -88,10 +117,20 @@ std::vector<EncodeResult> ParallelEncoder::append_all(
                                             << block_size_);
   std::vector<EncodeResult> results(blocks.size());
   if (blocks.empty()) return results;
+  obs::TraceSpan span("encode.batch");  // a0 = blocks, a1 = bytes
+  span.set_args(blocks.size(), blocks.size() * block_size_);
+  const auto batch_start = std::chrono::steady_clock::now();
   if (schedule_ == Schedule::kStrands)
     append_strand_scheduled(blocks, results);
   else
     append_wave_scheduled(blocks, results);
+  batch_us_metric_->observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - batch_start)
+          .count()));
+  batch_blocks_metric_->observe(blocks.size());
+  blocks_metric_->add(blocks.size());
+  batches_metric_->add();
   return results;
 }
 
@@ -210,6 +249,8 @@ void ParallelEncoder::append_wave_scheduled(
   for (std::uint32_t wave = 1; wave <= plan.waves; ++wave) {
     std::vector<NodeIndex>& nodes = wave_nodes[wave];
     if (nodes.empty()) continue;
+    obs::TraceSpan wave_span("encode.wave");  // a0 = wave, a1 = width
+    wave_span.set_args(wave, nodes.size());
     std::sort(nodes.begin(), nodes.end());
 
     // Coordinator fills any missing head slots while no worker runs.

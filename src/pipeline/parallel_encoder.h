@@ -44,6 +44,7 @@
 #include "common/bytes.h"
 #include "core/codec/encoder.h"
 #include "core/codec/write_planner.h"
+#include "obs/metrics.h"
 #include "pipeline/thread_pool.h"
 
 namespace aec::pipeline {
@@ -132,6 +133,12 @@ class ParallelEncoder {
   /// Set only by the owning constructor; pool_ points here or outside.
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;
+  /// Global-registry metrics, resolved once at construction; observed
+  /// at batch granularity (append_all), never per block.
+  obs::Counter* blocks_metric_;
+  obs::Counter* batches_metric_;
+  obs::Histogram* batch_us_metric_;
+  obs::Histogram* batch_blocks_metric_;
 };
 
 }  // namespace aec::pipeline

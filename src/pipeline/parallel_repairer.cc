@@ -1,13 +1,34 @@
 #include "pipeline/parallel_repairer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
 #include "common/xor_engine.h"
 #include "core/codec/availability_index.h"
+#include "obs/trace.h"
 
 namespace aec::pipeline {
+
+namespace {
+
+obs::Counter* waves_counter() {
+  return obs::MetricsRegistry::global().counter("repair.waves");
+}
+obs::Counter* steps_counter() {
+  return obs::MetricsRegistry::global().counter("repair.steps");
+}
+obs::Histogram* wave_us_histogram() {
+  return obs::MetricsRegistry::global().histogram(
+      "repair.wave_us", obs::Histogram::latency_bounds_us());
+}
+obs::Histogram* wave_width_histogram() {
+  return obs::MetricsRegistry::global().histogram(
+      "repair.wave_width", obs::Histogram::size_bounds());
+}
+
+}  // namespace
 
 ParallelRepairer::ParallelRepairer(CodeParams params, std::uint64_t n_nodes,
                                    std::size_t block_size, BlockStore* store,
@@ -16,7 +37,11 @@ ParallelRepairer::ParallelRepairer(CodeParams params, std::uint64_t n_nodes,
       block_size_(block_size),
       store_(store),
       owned_pool_(std::make_unique<ThreadPool>(threads)),
-      pool_(owned_pool_.get()) {
+      pool_(owned_pool_.get()),
+      waves_metric_(waves_counter()),
+      steps_metric_(steps_counter()),
+      wave_us_metric_(wave_us_histogram()),
+      wave_width_metric_(wave_width_histogram()) {
   AEC_CHECK_MSG(store_ != nullptr, "repairer needs a block store");
   AEC_CHECK_MSG(block_size_ > 0, "block size must be positive");
 }
@@ -27,13 +52,20 @@ ParallelRepairer::ParallelRepairer(CodeParams params, std::uint64_t n_nodes,
     : lattice_(std::move(params), n_nodes, Lattice::Boundary::kOpen),
       block_size_(block_size),
       store_(store),
-      pool_(pool) {
+      pool_(pool),
+      waves_metric_(waves_counter()),
+      steps_metric_(steps_counter()),
+      wave_us_metric_(wave_us_histogram()),
+      wave_width_metric_(wave_width_histogram()) {
   AEC_CHECK_MSG(store_ != nullptr, "repairer needs a block store");
   AEC_CHECK_MSG(block_size_ > 0, "block size must be positive");
   AEC_CHECK_MSG(pool_ != nullptr, "repairer needs a worker pool");
 }
 
 void ParallelRepairer::execute_wave(const std::vector<RepairStep>& wave) {
+  obs::TraceSpan span("repair.wave");  // a0 = wave width (steps)
+  span.set_args(wave.size());
+  const auto wave_start = std::chrono::steady_clock::now();
   // Contiguous chunks, one task each; small waves keep the dispatch
   // overhead at one task per step at most.
   const std::size_t chunk_count =
@@ -44,6 +76,13 @@ void ParallelRepairer::execute_wave(const std::vector<RepairStep>& wave) {
     pool_->submit([this, &wave, begin, end] { execute_steps(wave, begin, end); });
   }
   pool_->wait_idle();  // wave barrier (rethrows the first task error)
+  wave_us_metric_->observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wave_start)
+          .count()));
+  wave_width_metric_->observe(wave.size());
+  waves_metric_->add();
+  steps_metric_->add(wave.size());
 }
 
 void ParallelRepairer::execute_steps(const std::vector<RepairStep>& wave,

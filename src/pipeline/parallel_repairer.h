@@ -30,6 +30,7 @@
 
 #include "common/bytes.h"
 #include "core/codec/repair_planner.h"
+#include "obs/metrics.h"
 #include "pipeline/thread_pool.h"
 
 namespace aec::pipeline {
@@ -89,6 +90,12 @@ class ParallelRepairer {
   /// Set only by the owning constructor; pool_ points here or outside.
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;
+  /// Global-registry metrics, resolved once at construction; observed
+  /// at wave granularity (one clock pair + a few fetch_adds per wave).
+  obs::Counter* waves_metric_;
+  obs::Counter* steps_metric_;
+  obs::Histogram* wave_us_metric_;
+  obs::Histogram* wave_width_metric_;
 };
 
 }  // namespace aec::pipeline

@@ -1,5 +1,6 @@
 #include "pipeline/thread_pool.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
@@ -7,7 +8,11 @@
 namespace aec::pipeline {
 
 ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
-    : capacity_(queue_capacity) {
+    : capacity_(queue_capacity),
+      tasks_submitted_(
+          obs::MetricsRegistry::global().counter("pool.tasks_submitted")),
+      queue_wait_us_(obs::MetricsRegistry::global().histogram(
+          "pool.queue_wait_us", obs::Histogram::latency_bounds_us())) {
   AEC_CHECK_MSG(threads >= 1, "thread pool needs at least one worker");
   AEC_CHECK_MSG(queue_capacity >= 1, "queue capacity must be positive");
   workers_.reserve(threads);
@@ -29,11 +34,20 @@ void ThreadPool::submit(std::function<void()> task) {
   AEC_CHECK_MSG(task != nullptr, "cannot submit an empty task");
   {
     std::unique_lock lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return queue_.size() < capacity_ || stop_; });
+    if (queue_.size() >= capacity_ && !stop_) {
+      // Backpressure engaged: time the producer stall.
+      const auto blocked_at = std::chrono::steady_clock::now();
+      not_full_.wait(lock,
+                     [this] { return queue_.size() < capacity_ || stop_; });
+      queue_wait_us_->observe(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - blocked_at)
+              .count()));
+    }
     AEC_CHECK_MSG(!stop_, "submit() on a stopping thread pool");
     queue_.push_back(std::move(task));
   }
+  tasks_submitted_->add();
   not_empty_.notify_one();
 }
 

@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace aec::pipeline {
 
 class ThreadPool {
@@ -63,6 +65,12 @@ class ThreadPool {
   std::size_t active_ = 0;  // tasks currently executing
   std::exception_ptr first_error_;
   bool stop_ = false;
+  /// Global-registry metrics, resolved once at construction. The
+  /// queue-wait histogram is touched only when submit() actually blocks
+  /// on a full queue (backpressure engaged), so the uncontended path
+  /// pays one relaxed fetch_add per task.
+  obs::Counter* tasks_submitted_;
+  obs::Histogram* queue_wait_us_;
 };
 
 }  // namespace aec::pipeline

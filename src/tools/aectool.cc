@@ -5,12 +5,14 @@
 //   aectool put     --root DIR --name NAME [--threads N] FILE
 //   aectool get     --root DIR --name NAME [--threads N] [-o OUT]
 //   aectool ls      --root DIR
-//   aectool stat    --root DIR
-//   aectool scrub   --root DIR [--threads N]
+//   aectool stat    --root DIR [--json] [--metrics]
+//   aectool scrub   --root DIR [--threads N] [--metrics]
 //   aectool damage  --root DIR --fraction 0.2 [--seed 7]
 //   aectool reindex --root DIR
 //   aectool node    <fail|heal|rebuild|stat> --root DIR [--node K]
 //                   [--threads N]
+//   aectool trace   <scrub|get|put> --root DIR [--name NAME] [--threads N]
+//                   [-o OUT] [FILE]
 //
 // `--code` accepts any registered codec spec — AE(α,s,p) entanglement,
 // RS(k,m) Reed-Solomon stripes, REP(n) replication — and `--store` any
@@ -28,6 +30,12 @@
 // `--threads` sizes the execution engine (worker pool) for
 // put/get/scrub/rebuild — the stored bytes are identical at every
 // thread count.
+//
+// Observability: `stat --json` emits the spec + availability census as
+// one JSON object; `--metrics` (stat, scrub) adds the process metrics
+// snapshot; cluster scrub/rebuild print per-node repair traffic (the
+// Dimakis bytes-per-surviving-node view); `trace <op>` re-runs an
+// operation with the span ring enabled and dumps the spans as JSONL.
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -38,6 +46,7 @@
 
 #include "common/check.h"
 #include "core/codec/store_registry.h"
+#include "obs/trace.h"
 #include "tools/archive.h"
 
 namespace {
@@ -48,8 +57,8 @@ using namespace aec::tools;
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: aectool <init|put|get|ls|stat|scrub|damage|reindex|node>"
-      " --root DIR [options]\n"
+      "usage: aectool <init|put|get|ls|stat|scrub|damage|reindex|node"
+      "|trace> --root DIR [options]\n"
       "  init    --code SPEC --store STORE --block-size N\n"
       "          create an archive\n"
       "          (SPEC: AE(a,s,p) | RS(k,m) | REP(n);"
@@ -59,15 +68,19 @@ using namespace aec::tools;
       "  put     --name NAME [--threads N] FILE\n"
       "  get     --name NAME [--threads N] [-o OUT]\n"
       "  ls                                  list archived files\n"
-      "  stat                                archive + availability"
+      "  stat    [--json] [--metrics]        archive + availability"
       " summary\n"
-      "  scrub   [--threads N]               repair + integrity scan\n"
+      "  scrub   [--threads N] [--metrics]   repair + integrity scan\n"
       "  damage  --fraction F [--seed S]     delete random blocks\n"
       "  reindex                             rescan store + reseed index\n"
       "  node fail    --node K               take a cluster node down\n"
       "  node heal    --node K               bring it back (data intact)\n"
       "  node rebuild --node K [--threads N] replace + re-materialize it\n"
-      "  node stat                           per-node census\n");
+      "  node stat                           per-node census\n"
+      "  trace <scrub|get|put> [--name NAME] [--threads N] [-o OUT] "
+      "[FILE]\n"
+      "          run the operation with span tracing on, dump spans "
+      "as JSONL\n");
   std::exit(2);
 }
 
@@ -85,11 +98,12 @@ const std::set<std::string>& allowed_options(const std::string& command) {
       {"put", {"--root", "--name", "--threads"}},
       {"get", {"--root", "--name", "--threads", "--out"}},
       {"ls", {"--root"}},
-      {"stat", {"--root"}},
-      {"scrub", {"--root", "--threads"}},
+      {"stat", {"--root", "--json", "--metrics"}},
+      {"scrub", {"--root", "--threads", "--metrics"}},
       {"damage", {"--root", "--fraction", "--seed"}},
       {"reindex", {"--root"}},
       {"node", {"--root", "--node", "--threads"}},
+      {"trace", {"--root", "--name", "--threads", "--out"}},
   };
   const auto it = allowed.find(command);
   if (it == allowed.end()) {
@@ -97,6 +111,11 @@ const std::set<std::string>& allowed_options(const std::string& command) {
     usage();
   }
   return it->second;
+}
+
+/// Valueless boolean options (present or absent, no argument).
+bool is_flag_option(const std::string& key) {
+  return key == "--json" || key == "--metrics";
 }
 
 Args parse(int argc, char** argv) {
@@ -113,6 +132,10 @@ Args parse(int argc, char** argv) {
                      arg.c_str(), args.command.c_str());
         usage();
       }
+      if (is_flag_option(key)) {
+        args.options[key] = "1";
+        continue;
+      }
       if (i + 1 >= argc) usage();
       args.options[key] = argv[++i];
     } else {
@@ -120,6 +143,40 @@ Args parse(int argc, char** argv) {
     }
   }
   return args;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Per-node traffic delta table for one operation (cluster archives):
+/// the survivors' read bytes ARE the repair traffic of a rebuild — the
+/// Dimakis bytes-per-surviving-node view.
+void print_traffic_delta(
+    const aec::cluster::ClusterStore& cluster,
+    const std::vector<aec::cluster::NodeTraffic>& before) {
+  std::printf("node traffic (this operation):\n");
+  for (std::uint32_t k = 0; k < cluster.node_count(); ++k) {
+    const aec::cluster::NodeTraffic now = cluster.node_traffic(k);
+    std::printf("  node %-4u read %8llu blk / %12llu B   "
+                "wrote %8llu blk / %12llu B%s\n",
+                k,
+                static_cast<unsigned long long>(now.blocks_read -
+                                                before[k].blocks_read),
+                static_cast<unsigned long long>(now.bytes_read -
+                                                before[k].bytes_read),
+                static_cast<unsigned long long>(now.blocks_written -
+                                                before[k].blocks_written),
+                static_cast<unsigned long long>(now.bytes_written -
+                                                before[k].bytes_written),
+                cluster.node_down(k) ? "  (down)" : "");
+  }
 }
 
 Bytes read_whole_file(const std::string& path) {
@@ -230,6 +287,34 @@ int run(const Args& args) {
     return 0;
   }
   if (args.command == "stat") {
+    const bool want_json = args.options.count("--json") != 0;
+    const bool want_metrics = args.options.count("--metrics") != 0;
+    if (want_json) {
+      // One JSON object: spec + availability census (+ metrics snapshot
+      // when asked), so scripts stop parsing the human table.
+      std::string out = "{\"schema_version\":1";
+      out += ",\"codec\":\"" + json_escape(archive->codec().id()) + "\"";
+      out += ",\"store\":\"" + json_escape(archive->store_spec()) + "\"";
+      out += ",\"block_size\":" + std::to_string(archive->block_size());
+      out += ",\"data_blocks\":" + std::to_string(archive->blocks());
+      out += ",\"files\":" + std::to_string(archive->files().size());
+      out += ",\"availability\":[";
+      bool first = true;
+      for (const AvailabilityClassSummary& row :
+           archive->availability_summary()) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"class\":\"" + json_escape(row.label) + "\"";
+        out += ",\"expected\":" + std::to_string(row.expected);
+        out += ",\"missing\":" + std::to_string(row.missing) + "}";
+      }
+      out += "],\"missing\":" + std::to_string(archive->missing_blocks());
+      if (want_metrics)
+        out += ",\"metrics\":" + archive->metrics().to_json();
+      out += "}";
+      std::printf("%s\n", out.c_str());
+      return 0;
+    }
     std::printf("codec       : %s\n", archive->codec().id().c_str());
     std::printf("store       : %s\n", archive->store_spec().c_str());
     std::printf("block size  : %zu\n", archive->block_size());
@@ -251,9 +336,16 @@ int run(const Args& args) {
                 static_cast<unsigned long long>(expected_total));
     std::printf("missing     : %llu blocks\n",
                 static_cast<unsigned long long>(archive->missing_blocks()));
+    if (want_metrics) {
+      std::printf("metrics:\n");
+      archive->metrics().print(stdout);
+    }
     return 0;
   }
   if (args.command == "scrub") {
+    std::vector<aec::cluster::NodeTraffic> traffic_before;
+    if (archive->cluster() != nullptr)
+      traffic_before = archive->cluster()->traffic();
     const ScrubReport report = archive->scrub();
     // Repairs routed to a down node were staged in volatile memory: the
     // scrub result is real (recoverability proven, reads work through
@@ -283,6 +375,12 @@ int run(const Args& args) {
                 static_cast<unsigned long long>(
                     report.inconsistent_parities),
                 report.suspect_nodes.size());
+    if (archive->cluster() != nullptr)
+      print_traffic_delta(*archive->cluster(), traffic_before);
+    if (args.options.count("--metrics") != 0) {
+      std::printf("metrics:\n");
+      archive->metrics().print(stdout);
+    }
     return report.repair.nodes_unrecovered == 0 ? 0 : 1;
   }
   if (args.command == "damage") {
@@ -346,6 +444,8 @@ int run(const Args& args) {
       return 0;
     }
     if (sub == "rebuild") {
+      const std::vector<aec::cluster::NodeTraffic> traffic_before =
+          cluster->traffic();
       const RepairReport report = archive->rebuild_node(node);
       std::printf("rebuilt node %u: %llu block(s) re-materialized in %u "
                   "round(s), %.3f s (%.0f blocks/s)\n",
@@ -354,6 +454,7 @@ int run(const Args& args) {
                       report.blocks_repaired_total()),
                   report.rounds, report.wall_seconds,
                   report.blocks_per_second());
+      print_traffic_delta(*cluster, traffic_before);
       const std::uint64_t unrecovered =
           report.nodes_unrecovered + report.edges_unrecovered;
       if (unrecovered > 0)
@@ -364,6 +465,41 @@ int run(const Args& args) {
     std::fprintf(stderr, "error: unknown node subcommand '%s'\n",
                  sub.c_str());
     usage();
+  }
+  if (args.command == "trace") {
+    AEC_CHECK_MSG(!args.positional.empty(),
+                  "trace wants a subcommand (scrub | get | put)");
+    const std::string& sub = args.positional[0];
+    obs::TraceRing& ring = obs::TraceRing::global();
+    ring.enable();
+    if (sub == "scrub") {
+      archive->scrub();
+    } else if (sub == "get") {
+      const auto content = archive->read_file(option("--name"));
+      AEC_CHECK_MSG(content.has_value(), "file unknown or irrecoverable");
+    } else if (sub == "put") {
+      AEC_CHECK_MSG(args.positional.size() == 2,
+                    "trace put needs exactly one FILE");
+      const Bytes content = read_whole_file(args.positional[1]);
+      archive->add_file(option("--name"), content);
+    } else {
+      std::fprintf(stderr, "error: unknown trace subcommand '%s'\n",
+                   sub.c_str());
+      usage();
+    }
+    ring.disable();
+    const auto out_it = args.options.find("--out");
+    if (out_it == args.options.end()) {
+      ring.dump_jsonl(stdout);
+    } else {
+      std::FILE* out = std::fopen(out_it->second.c_str(), "w");
+      AEC_CHECK_MSG(out != nullptr, "cannot write " << out_it->second);
+      ring.dump_jsonl(out);
+      std::fclose(out);
+      std::fprintf(stderr, "trace: %zu span(s) written to %s\n",
+                   ring.events().size(), out_it->second.c_str());
+    }
+    return 0;
   }
   usage();
 }

@@ -475,6 +475,34 @@ std::vector<AvailabilityClassSummary> Archive::availability_summary() const {
   return rows;
 }
 
+obs::MetricsSnapshot Archive::metrics() const {
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  if (cluster_ != nullptr) {
+    // Append per-node traffic as synthetic counter rows so one snapshot
+    // carries both process-wide and per-node views.
+    const std::vector<cluster::NodeTraffic> traffic = cluster_->traffic();
+    for (std::size_t k = 0; k < traffic.size(); ++k) {
+      const std::string prefix = "cluster.node" + std::to_string(k) + ".";
+      const auto add_row = [&](const char* name, std::uint64_t value) {
+        obs::MetricRow row;
+        row.name = prefix + name;
+        row.type = obs::MetricRow::Type::kCounter;
+        row.value = value;
+        snap.rows.push_back(std::move(row));
+      };
+      add_row("blocks_read", traffic[k].blocks_read);
+      add_row("bytes_read", traffic[k].bytes_read);
+      add_row("blocks_written", traffic[k].blocks_written);
+      add_row("bytes_written", traffic[k].bytes_written);
+    }
+    std::sort(snap.rows.begin(), snap.rows.end(),
+              [](const obs::MetricRow& a, const obs::MetricRow& b) {
+                return a.name < b.name;
+              });
+  }
+  return snap;
+}
+
 std::uint64_t Archive::inject_damage(double fraction, std::uint64_t seed) {
   AEC_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
                 "fraction must be in [0,1]");

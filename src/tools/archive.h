@@ -66,6 +66,7 @@
 #include "cluster/cluster_store.h"
 #include "core/codec/availability_index.h"
 #include "core/codec/block_store.h"
+#include "obs/metrics.h"
 #include "pipeline/concurrent_block_store.h"
 
 namespace aec::tools {
@@ -217,6 +218,11 @@ class Archive {
   /// Availability census per block kind/class (data, then one row per
   /// parity class the codec stores) — the `aectool stat` table.
   std::vector<AvailabilityClassSummary> availability_summary() const;
+
+  /// Process-wide metrics snapshot, with per-node traffic counters
+  /// (`cluster.node<k>.bytes_read` …) appended when the backend is a
+  /// cluster — the `aectool stat --metrics` payload.
+  obs::MetricsSnapshot metrics() const;
 
   /// Deletes a random fraction of the block files (damage injection for
   /// demos/tests). Returns how many blocks were destroyed.
