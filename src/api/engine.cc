@@ -26,6 +26,11 @@ std::size_t Engine::ingest_window_blocks() const noexcept {
   return 256 * threads();
 }
 
+std::size_t Engine::read_window_blocks() const noexcept {
+  if (config_.read_window_blocks > 0) return config_.read_window_blocks;
+  return 64;
+}
+
 std::string Engine::store_spec() const {
   return config_.store_spec.empty() ? "file" : config_.store_spec;
 }
@@ -48,6 +53,7 @@ std::unique_ptr<CodecSession> Engine::open_session(
                                                block_size, resume_blocks,
                                                &pool_);
   }
+  session->set_read_window_blocks(read_window_blocks());
   // Shared-owned engines stay alive as long as their sessions (the
   // session runs on this engine's pool); null for stack-owned engines.
   session->engine_keepalive_ = weak_from_this().lock();

@@ -40,6 +40,10 @@ struct EngineConfig {
   /// the session — the peak-memory knob of chunked ingest. 0 = default
   /// (256 blocks per worker, at least 256).
   std::size_t ingest_window_blocks = 0;
+  /// Lookahead window (blocks) of the pipelined read path — how far a
+  /// session's read_blocks/FileReader prefetches ahead of consumption.
+  /// 0 = default (64).
+  std::size_t read_window_blocks = 0;
   /// Default block-store backend for archives created through this
   /// engine ("file", "sharded(8)", "mem", … — see store_registry.h).
   /// Empty means "file"; an explicit Archive::create store spec wins.
@@ -62,6 +66,9 @@ class Engine : public std::enable_shared_from_this<Engine> {
 
   /// Resolved ingest window (blocks) for streaming writers.
   std::size_t ingest_window_blocks() const noexcept;
+
+  /// Resolved read lookahead window (blocks) for streaming readers.
+  std::size_t read_window_blocks() const noexcept;
 
   /// Resolved default store spec for archives ("file" unless configured).
   std::string store_spec() const;

@@ -7,6 +7,9 @@
 #include "common/check.h"
 #include "core/codec/tamper.h"
 #include "core/lattice/lattice.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pipeline/block_fetcher.h"
 
 namespace aec {
 
@@ -19,7 +22,66 @@ double seconds_since(
       .count();
 }
 
+/// Shared body of the windowed session reads: stream the data-block run
+/// through a BlockFetcher, falling back to `recover` (repair-on-read)
+/// for blocks the prefetch found missing. The fetcher runs on the
+/// engine pool only when the store synchronizes its own reads —
+/// otherwise its tasks would race the consumer-side repair fallback —
+/// and degrades to synchronous batched reads on non-thread-safe stores,
+/// which keeps the batching win (one store round trip per batch) while
+/// giving up the overlap.
+std::vector<std::optional<Bytes>> windowed_read(
+    const BlockStore& store, pipeline::ThreadPool* pool, NodeIndex first,
+    std::uint64_t count, std::size_t window,
+    const std::function<std::optional<Bytes>(NodeIndex)>& recover) {
+  obs::TraceSpan span("read.window");  // a0 = blocks, a1 = window
+  span.set_args(count, window);
+  std::vector<BlockKey> keys;
+  keys.reserve(count);
+  for (std::uint64_t b = 0; b < count; ++b)
+    keys.push_back(BlockKey::data(first + static_cast<NodeIndex>(b)));
+  pipeline::BlockFetcher::Options opt;
+  opt.window = window;
+  opt.batch = std::min<std::size_t>(opt.batch, window);
+  pipeline::BlockFetcher fetcher(store, store.thread_safe() ? pool : nullptr,
+                                 std::move(keys), opt);
+  std::vector<std::optional<Bytes>> out;
+  out.reserve(count);
+  for (std::uint64_t b = 0; b < count; ++b) {
+    std::optional<Bytes> payload = fetcher.next();
+    if (!payload) payload = recover(first + static_cast<NodeIndex>(b));
+    out.push_back(std::move(payload));
+  }
+  return out;
+}
+
 }  // namespace
+
+// --- CodecSession -----------------------------------------------------------
+
+CodecSession::CodecSession() {
+  // Pre-register the read-path metrics so a snapshot taken before the
+  // first windowed read (aectool stat --metrics) still lists the rows.
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("read.prefetch.issued");
+  registry.counter("read.prefetch.hit");
+  registry.counter("read.prefetch.wasted");
+  registry.counter("read.prefetch.plan_inputs");
+  registry.histogram("read.prefetch.lookahead_depth",
+                     obs::Histogram::size_bounds());
+  registry.histogram("read.prefetch.fetch_wait_us",
+                     obs::Histogram::latency_bounds_us());
+}
+
+std::vector<std::optional<Bytes>> CodecSession::read_blocks(
+    NodeIndex first, std::uint64_t count, std::size_t window) {
+  (void)window;  // the per-block baseline has no lookahead
+  std::vector<std::optional<Bytes>> out;
+  out.reserve(count);
+  for (std::uint64_t b = 0; b < count; ++b)
+    out.push_back(read_block(first + static_cast<NodeIndex>(b)));
+  return out;
+}
 
 // --- AeSession --------------------------------------------------------------
 
@@ -61,6 +123,19 @@ std::optional<Bytes> AeSession::read_block(NodeIndex i) {
                 "read_block: index " << i << " outside [1, " << size()
                                      << "]");
   return repairer().read_node(i);
+}
+
+std::vector<std::optional<Bytes>> AeSession::read_blocks(
+    NodeIndex first, std::uint64_t count, std::size_t window) {
+  if (count == 0) return {};
+  AEC_CHECK_MSG(first >= 1 &&
+                    static_cast<std::uint64_t>(first) - 1 + count <= size(),
+                "read_blocks: range [" << first << ", " << first + count - 1
+                                       << "] outside [1, " << size() << "]");
+  const std::size_t w = window > 0 ? window : read_window_blocks();
+  return windowed_read(
+      *store_, pool_, first, count, w,
+      [this](NodeIndex i) { return repairer().read_node(i); });
 }
 
 RepairReport AeSession::repair_all() {
@@ -351,6 +426,20 @@ std::optional<Bytes> StripedSession::read_block(NodeIndex i) {
   if (auto direct = store_->get_copy(key)) return direct;
   repair_stripe(static_cast<std::uint64_t>(i - 1) / k_);
   return store_->get_copy(key);
+}
+
+std::vector<std::optional<Bytes>> StripedSession::read_blocks(
+    NodeIndex first, std::uint64_t count, std::size_t window) {
+  if (count == 0) return {};
+  AEC_CHECK_MSG(first >= 1 &&
+                    static_cast<std::uint64_t>(first) - 1 + count <= count_,
+                "read_blocks: range [" << first << ", " << first + count - 1
+                                       << "] outside [1, " << count_ << "]");
+  const std::size_t w = window > 0 ? window : read_window_blocks();
+  return windowed_read(*store_, pool_, first, count, w, [this](NodeIndex i) {
+    repair_stripe(static_cast<std::uint64_t>(i - 1) / k_);
+    return store_->get_copy(BlockKey::data(i));
+  });
 }
 
 RepairReport StripedSession::repair_all() {

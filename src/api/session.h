@@ -46,6 +46,11 @@ struct IntegrityReport {
 
 class CodecSession {
  public:
+  /// Registers the read-path instrumentation (read.prefetch.*) up front,
+  /// so metrics censuses (aectool stat --metrics) show the rows even
+  /// before the first windowed read — zero-valued idle instrumentation
+  /// is information too (see obs/metrics.h).
+  CodecSession();
   virtual ~CodecSession() = default;
 
   virtual const Codec& codec() const = 0;
@@ -62,6 +67,28 @@ class CodecSession {
   /// when blocks are missing; repairs are persisted. nullopt when the
   /// block is irrecoverable.
   virtual std::optional<Bytes> read_block(NodeIndex i) = 0;
+
+  /// Ranged pipelined read: data blocks [first, first+count), one entry
+  /// per block with read_block()'s per-block semantics (repairs
+  /// persisted, nullopt = irrecoverable). Healthy blocks are prefetched
+  /// up to `window` ahead of consumption through the engine pool
+  /// (overlapping store I/O with copy-out and repair work); damaged
+  /// blocks fall back to repair-on-read with the repair plan's inputs
+  /// batch-prefetched. `window` = 0 uses the session default (see
+  /// set_read_window_blocks). The base implementation is the unwindowed
+  /// per-block loop — the baseline the conformance tests and
+  /// bench_read_throughput compare against.
+  virtual std::vector<std::optional<Bytes>> read_blocks(
+      NodeIndex first, std::uint64_t count, std::size_t window = 0);
+
+  /// Default lookahead window (blocks) for read_blocks(window = 0).
+  /// Engines stamp their resolved default on every session they open.
+  void set_read_window_blocks(std::size_t window) noexcept {
+    if (window > 0) read_window_blocks_ = window;
+  }
+  std::size_t read_window_blocks() const noexcept {
+    return read_window_blocks_;
+  }
 
   /// Repairs everything recoverable; reports the paper's round/residue
   /// accounting (striped codecs always finish in one round).
@@ -93,6 +120,7 @@ class CodecSession {
   /// session runs on the engine's pool). Null for stack-owned engines,
   /// which must simply outlive the session.
   std::shared_ptr<const void> engine_keepalive_;
+  std::size_t read_window_blocks_ = 64;
 };
 
 /// Streaming AE lattice session.
@@ -110,6 +138,8 @@ class AeSession final : public CodecSession {
   std::uint64_t size() const override { return encoder_.size(); }
   void append(const std::vector<Bytes>& blocks) override;
   std::optional<Bytes> read_block(NodeIndex i) override;
+  std::vector<std::optional<Bytes>> read_blocks(
+      NodeIndex first, std::uint64_t count, std::size_t window = 0) override;
   RepairReport repair_all() override;
   void for_each_expected_key(
       const std::function<void(const BlockKey&)>& fn) const override;
@@ -155,6 +185,8 @@ class StripedSession final : public CodecSession {
   std::uint64_t size() const override { return count_; }
   void append(const std::vector<Bytes>& blocks) override;
   std::optional<Bytes> read_block(NodeIndex i) override;
+  std::vector<std::optional<Bytes>> read_blocks(
+      NodeIndex first, std::uint64_t count, std::size_t window = 0) override;
   RepairReport repair_all() override;
   void for_each_expected_key(
       const std::function<void(const BlockKey&)>& fn) const override;

@@ -304,6 +304,19 @@ std::vector<std::optional<Bytes>> ClusterStore::get_batch(
   return payloads;
 }
 
+void ClusterStore::prefetch(const std::vector<BlockKey>& keys) const {
+  std::vector<std::vector<BlockKey>> by_node(nodes_.size());
+  for (const BlockKey& key : keys)
+    by_node[node_of(key)].push_back(key);
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    if (by_node[k].empty()) continue;
+    Node& n = *nodes_[k];
+    std::shared_lock lock(n.mu);
+    if (n.staged) continue;  // the overlay already lives in memory
+    n.child->prefetch(by_node[k]);
+  }
+}
+
 void ClusterStore::put_batch(std::vector<std::pair<BlockKey, Bytes>> items) {
   std::vector<std::vector<std::pair<BlockKey, Bytes>>> by_node(
       nodes_.size());

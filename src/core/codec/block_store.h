@@ -56,15 +56,33 @@ class BlockStore {
   virtual std::optional<Bytes> get_copy(const BlockKey& key) const;
 
   /// Batch read: one payload (or nullopt) per key, in key order.
-  /// Equivalent to get_copy() per key; stores with internal sharding
-  /// override it to group the keys per shard and amortize lock/IO round
-  /// trips. Duplicate keys are allowed and resolved independently.
+  /// Same presence semantics as get_copy() per key; stores with internal
+  /// sharding override it to group the keys per shard and amortize
+  /// lock/IO round trips. Duplicate keys are allowed and resolved
+  /// independently.
+  ///
+  /// Caching contract: get_batch is a STREAMING read. Durable stores with
+  /// a payload cache serve hits from it but do not insert misses — a
+  /// windowed read of a huge file must not balloon the cache with blocks
+  /// that are consumed exactly once. Callers that want the payloads
+  /// resident for repeated access (e.g. repair inputs read by several
+  /// waves) warm the cache explicitly with prefetch().
   virtual std::vector<std::optional<Bytes>> get_batch(
       const std::vector<BlockKey>& keys) const;
 
   /// Batch write, equivalent to put() per item in order. Sharded stores
   /// override it to take each shard lock once per batch.
   virtual void put_batch(std::vector<std::pair<BlockKey, Bytes>> items);
+
+  /// Bulk cache warm-up hint: loads the given blocks' payloads into the
+  /// store's cache so subsequent get_copy/get_batch calls are served
+  /// from memory (the read path issues these for a repair plan's inputs
+  /// before the waves execute them). Missing keys are silently skipped;
+  /// stores without a payload cache ignore the hint entirely. Wrapper
+  /// stores forward it to where the cache lives.
+  virtual void prefetch(const std::vector<BlockKey>& keys) const {
+    (void)keys;
+  }
 
   /// True when put/get_copy/get_batch/contains/erase/size are safe to
   /// call concurrently. Stores answering false go behind a

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "core/codec/file_io.h"
 
 namespace aec {
 
@@ -86,6 +87,32 @@ bool FileBlockStore::erase(const BlockKey& key) {
 }
 
 std::uint64_t FileBlockStore::size() const { return index_.size(); }
+
+std::vector<std::optional<Bytes>> FileBlockStore::get_batch(
+    const std::vector<BlockKey>& keys) const {
+  std::vector<std::optional<Bytes>> out;
+  out.reserve(keys.size());
+  for (const BlockKey& key : keys) {
+    if (!index_.contains(key)) {
+      out.emplace_back(std::nullopt);
+      continue;
+    }
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      out.emplace_back(it->second);
+      continue;
+    }
+    out.push_back(read_block_file(path_of(key)));
+  }
+  return out;
+}
+
+void FileBlockStore::prefetch(const std::vector<BlockKey>& keys) const {
+  for (const BlockKey& key : keys) {
+    if (!index_.contains(key) || cache_.contains(key)) continue;
+    if (auto payload = read_block_file(path_of(key)))
+      cache_.emplace(key, std::move(*payload));
+  }
+}
 
 bool FileBlockStore::for_each_key(
     const std::function<void(const BlockKey&)>& fn) const {

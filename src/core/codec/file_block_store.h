@@ -30,6 +30,15 @@ class FileBlockStore final : public BlockStore {
   bool erase(const BlockKey& key) override;
   std::uint64_t size() const override;
 
+  /// Streaming batch read: cache hits are copied out, misses are read
+  /// with raw file I/O and NOT inserted into the cache (see the
+  /// BlockStore caching contract).
+  std::vector<std::optional<Bytes>> get_batch(
+      const std::vector<BlockKey>& keys) const override;
+
+  /// Loads the given blocks into the payload cache.
+  void prefetch(const std::vector<BlockKey>& keys) const override;
+
   const std::filesystem::path& root() const noexcept { return root_; }
 
   /// Drops the payload cache (the index stays). Mostly for tests and

@@ -1,0 +1,23 @@
+// Raw block-file reads for the batched read path.
+//
+// FileBlockStore/ShardedFileBlockStore resolve single get_copy() calls
+// through an ifstream plus their payload cache; the batched streaming
+// reads (get_batch) bypass both — one open/fstat/read/close per block,
+// no stream/locale machinery, no cache insert — which is where the
+// windowed read path's per-block savings come from on one-file-per-block
+// layouts.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace aec {
+
+/// Reads a whole block file with raw POSIX I/O. Returns nullopt when the
+/// file is missing or unreadable (deleted/truncated externally) — the
+/// same "treat as absent" semantics the stream-based readers use.
+std::optional<Bytes> read_block_file(const std::filesystem::path& path);
+
+}  // namespace aec

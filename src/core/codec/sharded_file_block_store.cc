@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "core/codec/file_io.h"
 
 namespace aec {
 
@@ -231,11 +232,35 @@ std::vector<std::optional<Bytes>> ShardedFileBlockStore::get_batch(
     if (buckets[k].empty()) continue;
     Shard& shard = *shards_[k];
     std::lock_guard lock(shard.mu);
-    for (const std::size_t j : buckets[k])
-      if (const Bytes* value = resolve_locked(shard, keys[j]))
-        payloads[j] = *value;
+    for (const std::size_t j : buckets[k]) {
+      const BlockKey& key = keys[j];
+      if (!shard.index.contains(key)) continue;
+      if (const auto it = shard.cache.find(key); it != shard.cache.end()) {
+        cache_hits_->add();
+        payloads[j] = it->second;
+        continue;
+      }
+      // Streaming read: raw file I/O, no cache insert (see the BlockStore
+      // caching contract).
+      cache_misses_->add();
+      payloads[j] = read_block_file(path_of(key));
+    }
   }
   return payloads;
+}
+
+void ShardedFileBlockStore::prefetch(
+    const std::vector<BlockKey>& keys) const {
+  std::vector<std::vector<std::size_t>> buckets(shards_.size());
+  for (std::size_t j = 0; j < keys.size(); ++j)
+    buckets[shard_index(keys[j])].push_back(j);
+  for (std::size_t k = 0; k < buckets.size(); ++k) {
+    if (buckets[k].empty()) continue;
+    Shard& shard = *shards_[k];
+    std::lock_guard lock(shard.mu);
+    for (const std::size_t j : buckets[k])
+      resolve_locked(shard, keys[j]);  // caching path; misses load the cache
+  }
 }
 
 void ShardedFileBlockStore::drop_payload_cache() const {

@@ -51,6 +51,8 @@ class ShardedFileBlockStore final : public BlockStore {
   std::vector<std::optional<Bytes>> get_batch(
       const std::vector<BlockKey>& keys) const override;
   void put_batch(std::vector<std::pair<BlockKey, Bytes>> items) override;
+  /// Loads the given blocks into their shards' payload caches.
+  void prefetch(const std::vector<BlockKey>& keys) const override;
   bool thread_safe() const noexcept override { return true; }
   void drop_payload_cache() const override;
 

@@ -138,14 +138,12 @@ std::optional<Bytes> LockedBlockStore::get_copy(const BlockKey& key) const {
 std::vector<std::optional<Bytes>> LockedBlockStore::get_batch(
     const std::vector<BlockKey>& keys) const {
   std::lock_guard lock(mu_);
-  std::vector<std::optional<Bytes>> payloads;
-  payloads.reserve(keys.size());
-  for (const BlockKey& key : keys) {
-    const Bytes* value = delegate_->find(key);
-    payloads.push_back(value == nullptr ? std::nullopt
-                                        : std::optional<Bytes>(*value));
-  }
-  return payloads;
+  return delegate_->get_batch(keys);
+}
+
+void LockedBlockStore::prefetch(const std::vector<BlockKey>& keys) const {
+  std::lock_guard lock(mu_);
+  delegate_->prefetch(keys);
 }
 
 void LockedBlockStore::put_batch(

@@ -77,10 +77,13 @@ class LockedBlockStore final : public BlockStore {
   /// Copies under the wrapper mutex — safe against concurrent put():
   /// this is the read pipeline workers must use.
   std::optional<Bytes> get_copy(const BlockKey& key) const override;
-  /// One lock acquisition for the whole batch (instead of one per key).
+  /// One lock acquisition for the whole batch (instead of one per key),
+  /// forwarded to the delegate's own batched read so streaming-read
+  /// semantics (no cache insert on miss) survive the wrapper.
   std::vector<std::optional<Bytes>> get_batch(
       const std::vector<BlockKey>& keys) const override;
   void put_batch(std::vector<std::pair<BlockKey, Bytes>> items) override;
+  void prefetch(const std::vector<BlockKey>& keys) const override;
   bool thread_safe() const noexcept override { return true; }
   void drop_payload_cache() const override;
   bool for_each_key(

@@ -66,8 +66,9 @@ class ParallelRepairer {
   }
 
   /// Parallel counterpart of Decoder::read_node: radius-scoped plan for
-  /// the target, waves executed across the pool. Returns nullopt when
-  /// the block is irrecoverable.
+  /// the target, the plan's pre-existing inputs prefetched into the
+  /// store's cache in a few large batches, then the waves executed
+  /// across the pool. Returns nullopt when the block is irrecoverable.
   std::optional<Bytes> read_node(NodeIndex i);
 
   const Lattice& lattice() const noexcept { return lattice_; }
@@ -82,6 +83,11 @@ class ParallelRepairer {
   void execute_steps(const std::vector<RepairStep>& wave, std::size_t begin,
                      std::size_t end);
   void execute_plan(const RepairPlan& plan);
+  /// Warms the store cache with every plan input that pre-exists the
+  /// plan (inputs produced by earlier waves are cached by their own
+  /// put()). Batched so repair-on-read issues a few large reads instead
+  /// of execute_wave discovering inputs one sub-batch at a time.
+  void prefetch_plan_inputs(const RepairPlan& plan);
 
   Lattice lattice_;  // owns the CodeParams copy (lattice_.params())
   std::size_t block_size_;

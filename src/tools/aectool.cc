@@ -36,6 +36,8 @@
 // snapshot; cluster scrub/rebuild print per-node repair traffic (the
 // Dimakis bytes-per-surviving-node view); `trace <op>` re-runs an
 // operation with the span ring enabled and dumps the spans as JSONL.
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -260,22 +262,61 @@ int run(const Args& args) {
     return 0;
   }
   if (args.command == "get") {
-    const auto content = archive->read_file(option("--name"));
-    if (!content) {
+    const std::string& name = option("--name");
+    if (archive->find_file(name) == nullptr) {
       std::fprintf(stderr, "error: file unknown or irrecoverable\n");
       return 1;
     }
+    // Stream window by window through the pipelined reader: peak memory
+    // is one lookahead window, not the whole file.
     const auto out_it = args.options.find("--out");
-    if (out_it == args.options.end()) {
-      std::fwrite(content->data(), 1, content->size(), stdout);
-    } else {
-      std::ofstream out(out_it->second, std::ios::binary | std::ios::trunc);
-      out.write(reinterpret_cast<const char*>(content->data()),
-                static_cast<std::streamsize>(content->size()));
+    const bool to_stdout = out_it == args.options.end();
+    std::ofstream out;
+    if (!to_stdout) {
+      out.open(out_it->second, std::ios::binary | std::ios::trunc);
       AEC_CHECK_MSG(out.good(), "cannot write " << out_it->second);
-      std::printf("restored '%s' (%zu bytes) to %s\n",
-                  option("--name").c_str(), content->size(),
-                  out_it->second.c_str());
+    }
+    const auto start = std::chrono::steady_clock::now();
+    FileReader reader = archive->open_reader(name);
+    while (true) {
+      const auto chunk = reader.next_chunk();
+      if (!chunk) {
+        std::fprintf(stderr, "error: file unknown or irrecoverable\n");
+        if (!to_stdout) {
+          out.close();
+          std::remove(out_it->second.c_str());  // drop the partial restore
+        }
+        return 1;
+      }
+      if (chunk->empty()) break;
+      if (to_stdout) {
+        std::fwrite(chunk->data(), 1, chunk->size(), stdout);
+      } else {
+        out.write(reinterpret_cast<const char*>(chunk->data()),
+                  static_cast<std::streamsize>(chunk->size()));
+        AEC_CHECK_MSG(out.good(), "cannot write " << out_it->second);
+      }
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const double mb_per_s =
+        static_cast<double>(reader.bytes_delivered()) / (1024.0 * 1024.0) /
+        std::max(seconds, 1e-9);
+    if (to_stdout) {
+      // The payload owns stdout; the report goes to stderr.
+      std::fprintf(stderr, "restored '%s' (%llu bytes, %.1f MB/s)\n",
+                   name.c_str(),
+                   static_cast<unsigned long long>(reader.bytes_delivered()),
+                   mb_per_s);
+    } else {
+      out.close();
+      AEC_CHECK_MSG(out.good(), "cannot write " << out_it->second);
+      std::printf("restored '%s' (%llu bytes, %.1f MB/s) to %s\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(reader.bytes_delivered()),
+                  mb_per_s, out_it->second.c_str());
     }
     return 0;
   }

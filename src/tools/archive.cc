@@ -231,11 +231,68 @@ const FileEntry& FileWriter::close() {
   entry.name = name_;
   entry.first_block = first_block_;
   entry.bytes = bytes_;
+  archive.file_index_.emplace(entry.name, archive.files_.size());
   archive.files_.push_back(std::move(entry));
   archive.writer_open_ = false;
   archive_ = nullptr;
   archive.save_manifest();
   return archive.files_.back();
+}
+
+// --- FileReader -------------------------------------------------------------
+
+FileReader::FileReader(Archive* archive, const FileEntry& entry,
+                       std::size_t window)
+    : archive_(archive),
+      name_(entry.name),
+      first_block_(entry.first_block),
+      bytes_(entry.bytes),
+      // Empty files still occupy one (all-zero) block, and reading it is
+      // what distinguishes "empty" from "irrecoverably damaged".
+      total_blocks_(std::max<std::uint64_t>(
+          1, entry.block_count(archive->block_size()))),
+      window_(window > 0 ? window
+                         : archive->engine().read_window_blocks()) {}
+
+FileReader::FileReader(FileReader&& other) noexcept
+    : archive_(other.archive_),
+      name_(std::move(other.name_)),
+      first_block_(other.first_block_),
+      bytes_(other.bytes_),
+      total_blocks_(other.total_blocks_),
+      window_(other.window_),
+      next_block_(other.next_block_),
+      delivered_(other.delivered_),
+      failed_(other.failed_),
+      buffer_(std::move(other.buffer_)) {
+  other.archive_ = nullptr;
+}
+
+std::optional<BytesView> FileReader::next_chunk() {
+  AEC_CHECK_MSG(archive_ != nullptr, "next_chunk() on a moved-from reader");
+  if (failed_) return std::nullopt;
+  if (next_block_ >= total_blocks_) return BytesView{};  // EOF
+
+  const std::uint64_t count =
+      std::min<std::uint64_t>(window_, total_blocks_ - next_block_);
+  const std::vector<std::optional<Bytes>> blocks =
+      archive_->session_->read_blocks(
+          first_block_ + static_cast<NodeIndex>(next_block_), count,
+          window_);
+  buffer_.clear();
+  for (const std::optional<Bytes>& block : blocks) {
+    if (!block) {
+      failed_ = true;
+      return std::nullopt;  // irrecoverable
+    }
+    buffer_.insert(buffer_.end(), block->begin(), block->end());
+  }
+  next_block_ += count;
+  // Trim the zero-padded tail to the file's true byte length.
+  const std::size_t want = static_cast<std::size_t>(std::min<std::uint64_t>(
+      buffer_.size(), bytes_ - delivered_));
+  delivered_ += want;
+  return BytesView(buffer_.data(), want);
 }
 
 // --- Archive ----------------------------------------------------------------
@@ -250,6 +307,9 @@ Archive::Archive(fs::path root, std::shared_ptr<const Codec> codec,
       block_size_(block_size),
       engine_(engine ? std::move(engine) : Engine::serial()),
       files_(std::move(files)) {
+  // parse_manifest already rejected duplicate names.
+  for (std::size_t f = 0; f < files_.size(); ++f)
+    file_index_.emplace(files_[f].name, f);
   store_ = make_store(store_spec_, root_);
   cluster_ = dynamic_cast<cluster::ClusterStore*>(store_.get());
   if (store_->thread_safe()) {
@@ -389,9 +449,8 @@ FileWriter Archive::begin_file(const std::string& name) {
   AEC_CHECK_MSG(cluster_ == nullptr || !cluster_->any_node_down(),
                 "begin_file: archive is degraded (a cluster node is "
                 "down); heal or rebuild it before ingesting new files");
-  for (const FileEntry& entry : files_)
-    AEC_CHECK_MSG(entry.name != name,
-                  "file '" << name << "' already archived");
+  AEC_CHECK_MSG(!file_index_.contains(name),
+                "file '" << name << "' already archived");
   writer_open_ = true;
   return FileWriter(this, name);
 }
@@ -409,26 +468,31 @@ const FileEntry& Archive::add_file(const std::string& name,
   return writer.close();
 }
 
+const FileEntry* Archive::find_file(const std::string& name) const {
+  const auto it = file_index_.find(name);
+  return it == file_index_.end() ? nullptr : &files_[it->second];
+}
+
+FileReader Archive::open_reader(const std::string& name, std::size_t window) {
+  const FileEntry* entry = find_file(name);
+  AEC_CHECK_MSG(entry != nullptr,
+                "open_reader: no archived file named '" << name << "'");
+  return FileReader(this, *entry, window);
+}
+
 std::optional<Bytes> Archive::read_file(const std::string& name) {
-  const FileEntry* entry = nullptr;
-  for (const FileEntry& candidate : files_)
-    if (candidate.name == name) entry = &candidate;
+  const FileEntry* entry = find_file(name);
   if (entry == nullptr) return std::nullopt;
 
+  FileReader reader(this, *entry, 0);
   Bytes content;
   content.reserve(entry->bytes);
-  const std::uint64_t count =
-      std::max<std::uint64_t>(1, entry->block_count(block_size_));
-  for (std::uint64_t b = 0; b < count; ++b) {
-    const NodeIndex node = entry->first_block + static_cast<NodeIndex>(b);
-    const auto block = session_->read_block(node);
-    if (!block) return std::nullopt;  // irrecoverable
-    const std::size_t want = static_cast<std::size_t>(
-        std::min<std::uint64_t>(block_size_, entry->bytes - content.size()));
-    content.insert(content.end(), block->begin(),
-                   block->begin() + static_cast<std::ptrdiff_t>(want));
+  while (true) {
+    const auto chunk = reader.next_chunk();
+    if (!chunk) return std::nullopt;  // irrecoverable
+    if (chunk->empty()) return content;
+    content.insert(content.end(), chunk->begin(), chunk->end());
   }
-  return content;
 }
 
 ScrubReport Archive::scrub() {

@@ -58,6 +58,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "api/codec.h"
@@ -149,6 +150,47 @@ class FileWriter {
   Bytes partial_;
 };
 
+/// Streaming read handle for one archived file (from
+/// Archive::open_reader) — the read-side mirror of FileWriter. Each
+/// next_chunk() pulls one lookahead window of blocks through the
+/// session's pipelined read path (prefetch + repair-on-read) and hands
+/// back the decoded bytes, so a huge file streams at bounded memory
+/// (window × block_size) instead of materializing fully.
+class FileReader {
+ public:
+  FileReader(FileReader&& other) noexcept;
+  FileReader& operator=(FileReader&&) = delete;
+  FileReader(const FileReader&) = delete;
+  FileReader& operator=(const FileReader&) = delete;
+
+  /// Next run of file content, valid until the next call. An empty view
+  /// means EOF; nullopt means an irrecoverable block (sticky — the
+  /// reader stays failed). Repairs performed along the way are
+  /// persisted, exactly like read_block().
+  std::optional<BytesView> next_chunk();
+
+  const std::string& name() const noexcept { return name_; }
+  /// Total file size and how much next_chunk() has handed out so far.
+  std::uint64_t size_bytes() const noexcept { return bytes_; }
+  std::uint64_t bytes_delivered() const noexcept { return delivered_; }
+  bool failed() const noexcept { return failed_; }
+
+ private:
+  friend class Archive;
+  FileReader(Archive* archive, const FileEntry& entry, std::size_t window);
+
+  Archive* archive_;  // null once moved-from
+  std::string name_;
+  NodeIndex first_block_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t total_blocks_ = 0;  // ≥ 1 even for empty files
+  std::size_t window_ = 0;
+  std::uint64_t next_block_ = 0;  // blocks consumed so far
+  std::uint64_t delivered_ = 0;   // bytes handed out so far
+  bool failed_ = false;
+  Bytes buffer_;  // current window's decoded bytes
+};
+
 class Archive {
  public:
   /// Creates a fresh archive (root must not already hold a manifest).
@@ -204,9 +246,19 @@ class Archive {
   /// unique. Implemented over begin_file().
   const FileEntry& add_file(const std::string& name, BytesView content);
 
-  /// Reads a file back (repairing blocks as needed through the codec);
-  /// nullopt if the name is unknown or content is irrecoverable.
+  /// Reads a file back through the windowed read path (repairing blocks
+  /// as needed through the codec); nullopt if the name is unknown or
+  /// content is irrecoverable.
   std::optional<Bytes> read_file(const std::string& name);
+
+  /// Opens a streaming reader for an archived file (CheckError when the
+  /// name is unknown). `window` is the lookahead in blocks; 0 = the
+  /// engine's resolved default. Multiple readers may be open at once.
+  FileReader open_reader(const std::string& name, std::size_t window = 0);
+
+  /// The manifest entry for `name`, or nullptr — O(1) via the name
+  /// index. The pointer stays valid until the file set next changes.
+  const FileEntry* find_file(const std::string& name) const;
 
   /// Global repair + integrity scan. Availability comes from the
   /// incremental index — O(damage), no store scan.
@@ -258,6 +310,7 @@ class Archive {
 
  private:
   friend class FileWriter;
+  friend class FileReader;
 
   Archive(std::filesystem::path root, std::shared_ptr<const Codec> codec,
           std::string store_spec, std::size_t block_size,
@@ -280,6 +333,11 @@ class Archive {
   std::size_t block_size_;
   std::shared_ptr<Engine> engine_;
   std::vector<FileEntry> files_;
+  /// name → position in files_, maintained by the constructor and
+  /// FileWriter::close (duplicates are rejected at manifest load and at
+  /// begin_file). Lookups (read_file, begin_file, open_reader) are O(1)
+  /// instead of a per-call scan of every entry.
+  std::unordered_map<std::string, std::size_t> file_index_;
   /// Mutation-fed missing-block set; observer of store_. Declared before
   /// the store so it outlives the store's notifications.
   AvailabilityIndex avail_index_;
