@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "core/codec/store_registry.h"
+#include "core/util/tagged_file.h"
 
 namespace aec::cluster {
 
@@ -29,48 +30,43 @@ struct PinnedState {
 PinnedState load_state(const fs::path& path) {
   std::ifstream in(path);
   AEC_CHECK_MSG(in.good(), "cannot read " << path.string());
-  std::string header;
-  std::getline(in, header);
-  AEC_CHECK_MSG(header == "aec-cluster v1",
-                "unknown cluster state header '" << header << "' in "
-                                                << path.string());
+  util::TaggedReader reader(in, "cluster state");
+  AEC_CHECK_MSG(reader.header() == "aec-cluster v1",
+                "unknown cluster state header '" << reader.header() << "' in "
+                                                 << path.string());
   PinnedState state;
-  bool saw_end = false;
-  std::string line;
-  while (std::getline(in, line)) {
-    AEC_CHECK_MSG(!saw_end, "cluster state: content after end marker");
-    std::istringstream row(line);
-    std::string tag;
-    row >> tag;
-    if (tag == "nodes") {
+  util::TaggedRow row;
+  while (reader.next(row)) {
+    if (row.tag() == "nodes") {
       row >> state.n_nodes;
-    } else if (tag == "policy") {
+    } else if (row.tag() == "policy") {
       std::string name;
       row >> name;
-      if (!row.fail()) state.policy = parse_placement_policy(name);
-    } else if (tag == "seed") {
+      if (row.ok()) state.policy = parse_placement_policy(name);
+    } else if (row.tag() == "seed") {
       row >> state.seed;
-    } else if (tag == "child") {
+    } else if (row.tag() == "child") {
       row >> state.child_spec;
-    } else if (tag == "node") {
+    } else if (row.tag() == "node") {
       std::uint32_t id = 0;
       std::string status;
       std::string domain;
       row >> id >> status >> domain;
-      AEC_CHECK_MSG(!row.fail() && id == state.domains.size() &&
+      AEC_CHECK_MSG(row.ok() && id == state.domains.size() &&
                         (status == "up" || status == "down"),
-                    "cluster state: malformed node line '" << line << "'");
+                    "cluster state: malformed node line '" << row.line()
+                                                           << "'");
       state.domains.push_back(std::move(domain));
       state.down.push_back(status == "down");
-    } else if (tag == "end") {
-      saw_end = true;
-    } else if (!tag.empty()) {
-      AEC_CHECK_MSG(false, "cluster state: unknown tag '" << tag << "'");
+    } else if (row.tag() == "end") {
+      reader.mark_end();
+    } else {
+      AEC_CHECK_MSG(false,
+                    "cluster state: unknown tag '" << row.tag() << "'");
     }
-    AEC_CHECK_MSG(!row.fail(),
-                  "cluster state: malformed line '" << line << "'");
   }
-  AEC_CHECK_MSG(saw_end, "cluster state: missing end marker (truncated)");
+  AEC_CHECK_MSG(reader.saw_end(),
+                "cluster state: missing end marker (truncated)");
   AEC_CHECK_MSG(state.n_nodes >= ClusterStore::kMinNodes &&
                     state.n_nodes <= ClusterStore::kMaxNodes &&
                     state.domains.size() == state.n_nodes &&
@@ -169,27 +165,21 @@ void ClusterStore::set_node_domain(std::uint32_t node,
 
 void ClusterStore::save_state() const {
   std::lock_guard file_lock(state_file_mu_);
-  const fs::path tmp = root_ / "cluster.txt.tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    AEC_CHECK_MSG(out.good(), "cannot write " << tmp.string());
-    out << "aec-cluster v1\n";
-    out << "nodes " << nodes_.size() << "\n";
-    out << "policy " << to_string(policy_) << "\n";
-    out << "seed " << seed_ << "\n";
-    out << "child " << child_spec_ << "\n";
-    for (std::size_t k = 0; k < nodes_.size(); ++k) {
-      // Callers release their node's exclusive lock before saving, so
-      // every row needs its own shared lock: a concurrent fail/heal or
-      // domain edit on another node must not be read mid-write.
-      std::shared_lock node_lock(nodes_[k]->mu);
-      out << "node " << k << " " << (nodes_[k]->staged ? "down" : "up")
-          << " " << nodes_[k]->domain << "\n";
-    }
-    out << "end\n";
-    AEC_CHECK_MSG(out.good(), "cluster state write failed");
+  util::TaggedWriter out("aec-cluster v1");
+  out.row("nodes", nodes_.size());
+  out.row("policy", to_string(policy_));
+  out.row("seed", seed_);
+  out.row("child", child_spec_);
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    // Callers release their node's exclusive lock before saving, so
+    // every row needs its own shared lock: a concurrent fail/heal or
+    // domain edit on another node must not be read mid-write.
+    std::shared_lock node_lock(nodes_[k]->mu);
+    out.row("node", k, nodes_[k]->staged ? "down" : "up",
+            nodes_[k]->domain);
   }
-  fs::rename(tmp, root_ / kStateFile);
+  out.row("end");
+  out.write_atomic(root_ / kStateFile);
 }
 
 // --- routed BlockStore operations -------------------------------------------

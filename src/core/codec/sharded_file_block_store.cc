@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "core/codec/file_io.h"
+#include "core/util/tagged_file.h"
 
 namespace aec {
 
@@ -31,9 +32,7 @@ std::size_t pinned_shard_count(const fs::path& root, std::size_t requested) {
                   "corrupt shard-count marker " << marker.string());
     return pinned;
   }
-  std::ofstream out(marker, std::ios::trunc);
-  out << requested << "\n";
-  AEC_CHECK_MSG(out.good(), "cannot write " << marker.string());
+  util::write_text_atomic(marker, std::to_string(requested) + "\n");
   return requested;
 }
 

@@ -1,0 +1,257 @@
+// aecc — client CLI for the aecd archive daemon.
+//
+//   aecc ping    --port P [--host H]
+//   aecc put     --port P --name NAME FILE
+//   aecc get     --port P --name NAME [-o OUT]
+//   aecc ls      --port P
+//   aecc stat    --port P [--metrics]         remote stat JSON
+//   aecc metrics --port P                     metrics snapshot JSON
+//   aecc scrub   --port P
+//   aecc node    <fail|heal|rebuild> --port P --node K
+//
+// The network twin of aectool: put streams the file up in bounded
+// chunks, get streams it back down (repairing through the codec on the
+// server as needed), and the control-plane commands mirror their local
+// counterparts. Server-side failures arrive as typed errors with the
+// original CheckError text and exit 1; usage errors exit 2.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "net/client.h"
+
+namespace {
+
+using aec::net::Client;
+using aec::net::ClientConfig;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: aecc <ping|put|get|ls|stat|metrics|scrub|node> --port P "
+      "[options]\n"
+      "  common: --port P (required)  --host H (default 127.0.0.1)\n"
+      "  put     --name NAME FILE     stream a file into the archive\n"
+      "  get     --name NAME [-o OUT] stream it back (stdout by default)\n"
+      "  ls                           list archived files\n"
+      "  stat    [--metrics]          remote stat JSON\n"
+      "  metrics                      metrics snapshot JSON\n"
+      "  scrub                        repair + integrity scan\n"
+      "  node fail    --node K        take a cluster node down\n"
+      "  node heal    --node K        bring it back\n"
+      "  node rebuild --node K        replace + re-materialize it\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+};
+
+const std::set<std::string>& allowed_options(const std::string& command) {
+  static const std::map<std::string, std::set<std::string>> allowed = {
+      {"ping", {"--port", "--host"}},
+      {"put", {"--port", "--host", "--name"}},
+      {"get", {"--port", "--host", "--name", "--out"}},
+      {"ls", {"--port", "--host"}},
+      {"stat", {"--port", "--host", "--metrics"}},
+      {"metrics", {"--port", "--host"}},
+      {"scrub", {"--port", "--host"}},
+      {"node", {"--port", "--host", "--node"}},
+  };
+  const auto it = allowed.find(command);
+  if (it == allowed.end()) {
+    std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+    usage();
+  }
+  return it->second;
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args args;
+  args.command = argv[1];
+  const std::set<std::string>& allowed = allowed_options(args.command);
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 || arg == "-o") {
+      const std::string key = arg == "-o" ? "--out" : arg;
+      if (allowed.count(key) == 0) {
+        std::fprintf(stderr, "error: unknown option '%s' for '%s'\n",
+                     arg.c_str(), args.command.c_str());
+        usage();
+      }
+      if (key == "--metrics") {
+        args.options[key] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) usage();
+      args.options[key] = argv[++i];
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int run(const Args& args) {
+  const auto option = [&](const char* key) -> const std::string& {
+    const auto it = args.options.find(key);
+    if (it == args.options.end()) {
+      std::fprintf(stderr, "error: '%s' requires %s\n", args.command.c_str(),
+                   key);
+      usage();
+    }
+    return it->second;
+  };
+
+  ClientConfig config;
+  {
+    const std::string& text = option("--port");
+    const bool numeric =
+        !text.empty() && text.size() <= 5 &&
+        text.find_first_not_of("0123456789") == std::string::npos;
+    if (!numeric) {
+      std::fprintf(stderr, "error: --port wants a number, got '%s'\n",
+                   text.c_str());
+      usage();
+    }
+    config.port = static_cast<std::uint16_t>(std::stoul(text));
+  }
+  const auto host_it = args.options.find("--host");
+  if (host_it != args.options.end()) config.host = host_it->second;
+
+  Client client(config);
+
+  if (args.command == "ping") {
+    client.ping();
+    std::printf("pong\n");
+    return 0;
+  }
+  if (args.command == "put") {
+    if (args.positional.size() != 1) {
+      std::fprintf(stderr, "error: put needs exactly one FILE\n");
+      usage();
+    }
+    const aec::net::PutResult result =
+        client.put_file(option("--name"), args.positional[0]);
+    std::printf("archived '%s': %llu bytes in %llu block(s) from d%llu\n",
+                option("--name").c_str(),
+                static_cast<unsigned long long>(result.bytes),
+                static_cast<unsigned long long>(result.blocks),
+                static_cast<unsigned long long>(result.first_block));
+    return 0;
+  }
+  if (args.command == "get") {
+    const std::string& name = option("--name");
+    const auto out_it = args.options.find("--out");
+    std::uint64_t total = 0;
+    if (out_it == args.options.end()) {
+      total = client.get(name, [](aec::BytesView chunk) {
+        std::fwrite(chunk.data(), 1, chunk.size(), stdout);
+      });
+      std::fprintf(stderr, "restored '%s' (%llu bytes)\n", name.c_str(),
+                   static_cast<unsigned long long>(total));
+    } else {
+      total = client.get_to_file(name, out_it->second);
+      std::printf("restored '%s' (%llu bytes) to %s\n", name.c_str(),
+                  static_cast<unsigned long long>(total),
+                  out_it->second.c_str());
+    }
+    return 0;
+  }
+  if (args.command == "ls") {
+    for (const aec::net::RemoteFileEntry& entry : client.list())
+      std::printf("%-40s %12llu bytes  d%llu+\n", entry.name.c_str(),
+                  static_cast<unsigned long long>(entry.bytes),
+                  static_cast<unsigned long long>(entry.first_block));
+    return 0;
+  }
+  if (args.command == "stat") {
+    std::printf("%s\n",
+                client.stat_json(args.options.count("--metrics") != 0)
+                    .c_str());
+    return 0;
+  }
+  if (args.command == "metrics") {
+    std::printf("%s\n", client.metrics_json().c_str());
+    return 0;
+  }
+  if (args.command == "scrub") {
+    const aec::net::ScrubResult result = client.scrub();
+    std::printf("repaired    : %llu data + %llu parity blocks in %u "
+                "round(s)\n",
+                static_cast<unsigned long long>(result.data_repaired),
+                static_cast<unsigned long long>(result.parity_repaired),
+                result.rounds);
+    std::printf("unrecovered : %llu\n",
+                static_cast<unsigned long long>(result.unrecovered));
+    std::printf("integrity   : %llu inconsistent parities\n",
+                static_cast<unsigned long long>(
+                    result.inconsistent_parities));
+    return result.unrecovered == 0 ? 0 : 1;
+  }
+  if (args.command == "node") {
+    if (args.positional.size() != 1) {
+      std::fprintf(stderr, "error: node wants exactly one subcommand "
+                           "(fail | heal | rebuild)\n");
+      usage();
+    }
+    const std::string& sub = args.positional[0];
+    const std::string& node_text = option("--node");
+    const bool numeric =
+        !node_text.empty() && node_text.size() <= 4 &&
+        node_text.find_first_not_of("0123456789") == std::string::npos;
+    if (!numeric) {
+      std::fprintf(stderr, "error: --node wants a node id, got '%s'\n",
+                   node_text.c_str());
+      usage();
+    }
+    const auto node = static_cast<std::uint32_t>(std::stoul(node_text));
+    if (sub == "fail") {
+      client.node_fail(node);
+      std::printf("node %u is down\n", node);
+      return 0;
+    }
+    if (sub == "heal") {
+      client.node_heal(node);
+      std::printf("node %u is back up\n", node);
+      return 0;
+    }
+    if (sub == "rebuild") {
+      const aec::net::RebuildResult result = client.node_rebuild(node);
+      std::printf("rebuilt node %u: %llu block(s) re-materialized in %u "
+                  "round(s)\n",
+                  node,
+                  static_cast<unsigned long long>(result.blocks_repaired),
+                  result.rounds);
+      if (result.unrecovered > 0)
+        std::printf("unrecovered : %llu block(s)\n",
+                    static_cast<unsigned long long>(result.unrecovered));
+      return result.unrecovered == 0 ? 0 : 1;
+    }
+    std::fprintf(stderr, "error: unknown node subcommand '%s'\n",
+                 sub.c_str());
+    usage();
+  }
+  usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse(argc, argv));
+  } catch (const aec::net::RemoteError& e) {
+    std::fprintf(stderr, "remote error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,147 @@
+// aecd — archive daemon: serves one archive over TCP (protocol.h).
+//
+//   aecd --root DIR [--port P] [--bind ADDR] [--threads N]
+//        [--max-inflight N] [--idle-timeout-ms N] [--port-file PATH]
+//
+// The daemon owns the archive for its lifetime: one epoll reactor
+// thread multiplexes every connection, one executor thread drives the
+// archive, and the engine's worker pool (--threads) parallelizes each
+// operation internally. --port 0 (the default) binds an ephemeral port;
+// --port-file writes the bound port to PATH so scripts can discover it
+// without parsing logs. SIGTERM/SIGINT trigger a graceful drain:
+// in-flight requests finish and flush, new ones are refused with
+// `shutting_down`, then the process exits 0.
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/signalfd.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/check.h"
+#include "net/server.h"
+#include "tools/archive.h"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: aecd --root DIR [options]\n"
+      "  --root DIR             archive to serve (required)\n"
+      "  --port P               TCP port (default 0 = ephemeral)\n"
+      "  --bind ADDR            bind address (default 127.0.0.1)\n"
+      "  --threads N            engine worker threads (default 1)\n"
+      "  --max-inflight N       admission limit (default 64)\n"
+      "  --idle-timeout-ms N    idle connection sweep (default 60000,"
+      " 0 = off)\n"
+      "  --port-file PATH       write the bound port to PATH\n");
+  std::exit(2);
+}
+
+std::uint64_t parse_number(const std::string& key, const std::string& text) {
+  const bool numeric =
+      !text.empty() && text.size() <= 9 &&
+      text.find_first_not_of("0123456789") == std::string::npos;
+  if (!numeric) {
+    std::fprintf(stderr, "error: %s wants a number, got '%s'\n", key.c_str(),
+                 text.c_str());
+    usage();
+  }
+  return std::stoull(text);
+}
+
+int run(int argc, char** argv) {
+  std::map<std::string, std::string> options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", key.c_str());
+      usage();
+    }
+    options[key] = argv[++i];
+  }
+  const auto root_it = options.find("--root");
+  if (root_it == options.end()) {
+    std::fprintf(stderr, "error: aecd requires --root\n");
+    usage();
+  }
+
+  aec::net::ServerConfig config;
+  std::size_t threads = 1;
+  std::string port_file;
+  for (const auto& [key, value] : options) {
+    if (key == "--root") {
+      continue;
+    } else if (key == "--port") {
+      config.port = static_cast<std::uint16_t>(parse_number(key, value));
+    } else if (key == "--bind") {
+      config.bind_address = value;
+    } else if (key == "--threads") {
+      threads = static_cast<std::size_t>(parse_number(key, value));
+    } else if (key == "--max-inflight") {
+      config.max_inflight = static_cast<std::size_t>(parse_number(key, value));
+    } else if (key == "--idle-timeout-ms") {
+      config.idle_timeout_ms = static_cast<int>(parse_number(key, value));
+    } else if (key == "--port-file") {
+      port_file = value;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", key.c_str());
+      usage();
+    }
+  }
+
+  // Block the shutdown signals before any thread exists so they are
+  // only ever delivered through the signalfd on the reactor.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  AEC_CHECK_MSG(pthread_sigmask(SIG_BLOCK, &mask, nullptr) == 0,
+                "pthread_sigmask: " << std::strerror(errno));
+  const int sig_fd = ::signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
+  AEC_CHECK_MSG(sig_fd >= 0, "signalfd: " << std::strerror(errno));
+
+  auto archive = aec::tools::Archive::open(
+      root_it->second, aec::Engine::with_threads(threads));
+  aec::net::Server server(archive.get(), config);
+
+  server.loop().add(sig_fd, EPOLLIN, [&server, sig_fd](std::uint32_t) {
+    signalfd_siginfo info;
+    while (::read(sig_fd, &info, sizeof info) == sizeof info) {
+    }
+    std::fprintf(stderr, "aecd: draining...\n");
+    server.shutdown();
+  });
+
+  if (!port_file.empty()) {
+    std::FILE* out = std::fopen(port_file.c_str(), "w");
+    AEC_CHECK_MSG(out != nullptr,
+                  "cannot write " << port_file << ": "
+                                  << std::strerror(errno));
+    std::fprintf(out, "%u\n", server.port());
+    std::fclose(out);
+  }
+  std::fprintf(stderr, "aecd: serving %s on %s:%u (pid %d)\n",
+               root_it->second.c_str(), config.bind_address.c_str(),
+               server.port(), static_cast<int>(::getpid()));
+
+  server.run();
+  ::close(sig_fd);
+  std::fprintf(stderr, "aecd: drained, exiting\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

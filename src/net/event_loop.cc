@@ -1,0 +1,110 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace aec::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  AEC_CHECK_MSG(epoll_fd_ >= 0,
+                "epoll_create1: " << std::strerror(errno));
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  AEC_CHECK_MSG(wake_fd_ >= 0, "eventfd: " << std::strerror(errno));
+  add(wake_fd_, EPOLLIN, [this](std::uint32_t) {
+    std::uint64_t drained = 0;
+    while (::read(wake_fd_, &drained, sizeof drained) > 0) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add(int fd, std::uint32_t events, FdCallback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  AEC_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+                "epoll_ctl(ADD, fd " << fd << "): "
+                                     << std::strerror(errno));
+  callbacks_[fd] = std::move(cb);
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  AEC_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+                "epoll_ctl(MOD, fd " << fd << "): "
+                                     << std::strerror(errno));
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);  // best effort
+  callbacks_.erase(fd);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mu_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_, &one, sizeof one);  // EAGAIN = already pending
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard lock(mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::set_tick(int interval_ms, std::function<void()> fn) {
+  tick_interval_ms_ = interval_ms;
+  tick_ = std::move(fn);
+}
+
+void EventLoop::run() {
+  running_.store(true, std::memory_order_release);
+  std::vector<epoll_event> events(64);
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()),
+                               tick_interval_ms_);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      AEC_CHECK_MSG(false, "epoll_wait: " << std::strerror(errno));
+    }
+    for (int i = 0; i < n; ++i) {
+      // Look the callback up per event: an earlier callback in this
+      // batch may have removed (or even replaced) this fd.
+      const auto it = callbacks_.find(events[static_cast<std::size_t>(i)]
+                                          .data.fd);
+      if (it == callbacks_.end()) continue;
+      it->second(events[static_cast<std::size_t>(i)].events);
+    }
+    drain_posted();
+    if (tick_) tick_();
+  }
+  drain_posted();  // don't strand cross-thread completions at shutdown
+}
+
+void EventLoop::stop() {
+  running_.store(false, std::memory_order_release);
+  post([] {});  // wake the loop if it is parked in epoll_wait
+}
+
+}  // namespace aec::net

@@ -1,0 +1,623 @@
+#include "net/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <arpa/inet.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/trace.h"
+#include "tools/archive.h"
+
+namespace aec::net {
+
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+Server::Server(tools::Archive* archive, ServerConfig config)
+    : archive_(archive), config_(std::move(config)) {
+  auto& reg = obs::MetricsRegistry::global();
+  conn_accepted_ = reg.counter("net.conn.accepted");
+  conn_closed_ = reg.counter("net.conn.closed");
+  conn_active_ = reg.gauge("net.conn.active");
+  req_count_ = reg.counter("net.req.count");
+  req_rejected_ = reg.counter("net.req.rejected");
+  req_bytes_in_ = reg.counter("net.req.bytes_in");
+  req_bytes_out_ = reg.counter("net.req.bytes_out");
+  for (const std::uint16_t op :
+       {static_cast<std::uint16_t>(Op::kPing),
+        static_cast<std::uint16_t>(Op::kStat),
+        static_cast<std::uint16_t>(Op::kMetrics),
+        static_cast<std::uint16_t>(Op::kScrub),
+        static_cast<std::uint16_t>(Op::kList),
+        static_cast<std::uint16_t>(Op::kPutBegin),
+        static_cast<std::uint16_t>(Op::kPutChunk),
+        static_cast<std::uint16_t>(Op::kPutEnd),
+        static_cast<std::uint16_t>(Op::kGetFile),
+        static_cast<std::uint16_t>(Op::kNodeFail),
+        static_cast<std::uint16_t>(Op::kNodeHeal),
+        static_cast<std::uint16_t>(Op::kNodeRebuild)}) {
+    req_latency_us_[op] =
+        reg.histogram(std::string("net.req.latency_us.") + op_name(op),
+                      obs::Histogram::latency_bounds_us());
+  }
+
+  open_listener();
+  loop_.set_tick(250, [this] {
+    sweep_idle();
+    if (draining_) {
+      if (Clock::now() >= drain_deadline_) loop_.stop();
+      check_drain();
+    }
+  });
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& [id, conn] : conns_)
+    if (conn->fd >= 0) ::close(conn->fd);
+}
+
+void Server::open_listener() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  AEC_CHECK_MSG(listen_fd_ >= 0, "socket: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  AEC_CHECK_MSG(
+      ::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) == 1,
+      "bad bind address '" << config_.bind_address << "'");
+  AEC_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof addr) == 0,
+                "bind " << config_.bind_address << ":" << config_.port << ": "
+                        << std::strerror(errno));
+  AEC_CHECK_MSG(::listen(listen_fd_, 128) == 0,
+                "listen: " << std::strerror(errno));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  AEC_CHECK_MSG(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                              &len) == 0,
+                "getsockname: " << std::strerror(errno));
+  port_ = ntohs(bound.sin_port);
+
+  loop_.add(listen_fd_, EPOLLIN, [this](std::uint32_t) { on_accept(); });
+}
+
+void Server::run() {
+  executor_ = std::thread([this] { executor_loop(); });
+  loop_.run();
+
+  // Past this point nothing reads sockets; unblock and stop the
+  // executor, then tear the connections down.
+  for (auto& [id, conn] : conns_) {
+    std::lock_guard lock(conn->gate->mu);
+    conn->gate->closed = true;
+    conn->gate->cv.notify_all();
+  }
+  exec_push(ExecItem{ExecItem::Kind::kStop, 0, {}, nullptr, {}});
+  executor_.join();
+  for (auto& [id, conn] : conns_) {
+    loop_.remove(conn->fd);
+    ::close(conn->fd);
+    conn->fd = -1;
+    conn_closed_->add();
+    conn_active_->add(-1);
+  }
+  conns_.clear();
+}
+
+void Server::shutdown() {
+  loop_.post([this] {
+    if (draining_) return;
+    draining_ = true;
+    drain_deadline_ =
+        Clock::now() + std::chrono::milliseconds(config_.drain_timeout_ms);
+    if (listen_fd_ >= 0) {
+      loop_.remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    check_drain();
+  });
+}
+
+void Server::check_drain() {
+  if (!draining_) return;
+  if (inflight_total_ > 0) return;
+  for (const auto& [id, conn] : conns_)
+    if (!conn->write_queue.empty()) return;
+  loop_.stop();
+}
+
+// --- reactor: accept / read / write -------------------------------------
+
+void Server::on_accept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays armed
+    }
+    if (conns_.size() >= config_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    auto conn = std::make_unique<Connection>(config_.max_payload);
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->gate = std::make_shared<WriteGate>();
+    conn->last_activity = Clock::now();
+    const std::uint64_t id = conn->id;
+    loop_.add(fd, EPOLLIN,
+              [this, id](std::uint32_t events) { on_conn_event(id, events); });
+    conns_.emplace(id, std::move(conn));
+    conn_accepted_->add();
+    conn_active_->add(1);
+  }
+}
+
+void Server::on_conn_event(std::uint64_t conn_id, std::uint32_t events) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_conn(conn_id);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    if (!flush(conn)) return;  // connection closed under us
+  }
+  if (events & EPOLLIN) on_readable(conn);
+}
+
+void Server::on_readable(Connection& conn) {
+  const std::uint64_t conn_id = conn.id;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n == 0) {
+      close_conn(conn_id);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(conn_id);
+      return;
+    }
+    conn.last_activity = Clock::now();
+    if (conn.close_after_flush) continue;  // drain-and-discard
+    conn.parser.feed(BytesView(buf, static_cast<std::size_t>(n)));
+
+    while (auto frame = conn.parser.next()) {
+      req_bytes_in_->add(kHeaderSize + frame->payload.size());
+      req_count_->add();
+      if (!is_request_op(frame->op)) {
+        req_rejected_->add();
+        send_error_from_loop(conn, frame->request_id, ErrorCode::kUnknownOp,
+                             std::string("unknown opcode ") +
+                                 std::to_string(frame->op));
+        continue;
+      }
+      if (draining_) {
+        req_rejected_->add();
+        send_error_from_loop(conn, frame->request_id,
+                             ErrorCode::kShuttingDown, "server is draining");
+        continue;
+      }
+      if (inflight_total_ >= config_.max_inflight) {
+        req_rejected_->add();
+        send_error_from_loop(conn, frame->request_id, ErrorCode::kBusy,
+                             "server at max in-flight requests");
+        continue;
+      }
+      ++inflight_total_;
+      ++conn.inflight;
+      ExecItem item;
+      item.kind = ExecItem::Kind::kRequest;
+      item.conn_id = conn_id;
+      item.frame = std::move(*frame);
+      item.gate = conn.gate;
+      item.enqueued = Clock::now();
+      exec_push(std::move(item));
+    }
+    if (conn.parser.error()) {
+      // The stream cannot be re-synchronized: answer with a typed
+      // framing error (request id 0 — no frame to attribute it to),
+      // flush, and drop the connection.
+      send_error_from_loop(conn, 0, ErrorCode::kBadFrame,
+                           conn.parser.error_text());
+      conn.close_after_flush = true;
+      if (!flush(conn)) return;
+    }
+  }
+}
+
+bool Server::flush(Connection& conn) {
+  std::size_t written = 0;
+  bool fatal = false;
+  while (!conn.write_queue.empty()) {
+    const Bytes& front = conn.write_queue.front();
+    const ssize_t n =
+        ::send(conn.fd, front.data() + conn.write_offset,
+               front.size() - conn.write_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      conn.write_offset += static_cast<std::size_t>(n);
+      if (conn.write_offset == front.size()) {
+        conn.write_queue.pop_front();
+        conn.write_offset = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    fatal = true;
+    break;
+  }
+  if (written > 0) {
+    req_bytes_out_->add(written);
+    std::lock_guard lock(conn.gate->mu);
+    conn.gate->queued -= written;
+    conn.gate->cv.notify_all();
+  }
+  const std::uint64_t conn_id = conn.id;
+  if (fatal) {
+    close_conn(conn_id);
+    return false;
+  }
+  if (conn.write_queue.empty() && conn.close_after_flush) {
+    close_conn(conn_id);
+    return false;
+  }
+  update_interest(conn);
+  if (draining_) check_drain();
+  return true;
+}
+
+void Server::update_interest(Connection& conn) {
+  const bool want = !conn.write_queue.empty();
+  if (want == conn.want_write) return;
+  conn.want_write = want;
+  loop_.modify(conn.fd, EPOLLIN | (want ? EPOLLOUT : 0u));
+}
+
+void Server::enqueue_out(Connection& conn, Bytes buffer, bool reserved) {
+  if (!reserved) {
+    std::lock_guard lock(conn.gate->mu);
+    conn.gate->queued += buffer.size();
+  }
+  conn.write_queue.push_back(std::move(buffer));
+  conn.last_activity = Clock::now();
+  flush(conn);  // opportunistic immediate write; arms EPOLLOUT otherwise
+}
+
+void Server::send_error_from_loop(Connection& conn, std::uint64_t request_id,
+                                  ErrorCode code,
+                                  const std::string& message) {
+  enqueue_out(conn, encode_frame(error_frame(request_id, code, message)),
+              /*reserved=*/false);
+}
+
+void Server::close_conn(std::uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  {
+    std::lock_guard lock(conn.gate->mu);
+    conn.gate->closed = true;
+    conn.gate->cv.notify_all();
+  }
+  loop_.remove(conn.fd);
+  ::close(conn.fd);
+  conn.fd = -1;
+  conn_closed_->add();
+  conn_active_->add(-1);
+  // Tell the executor so it can drop any open PUT session. Requests from
+  // this connection already queued ahead of the marker still execute;
+  // their responses are discarded at the (closed) gate.
+  exec_push(ExecItem{ExecItem::Kind::kConnClosed, conn_id, {}, nullptr, {}});
+  conns_.erase(it);
+  if (draining_) check_drain();
+}
+
+void Server::sweep_idle() {
+  if (config_.idle_timeout_ms <= 0) return;
+  const auto cutoff =
+      Clock::now() - std::chrono::milliseconds(config_.idle_timeout_ms);
+  std::vector<std::uint64_t> victims;
+  for (const auto& [id, conn] : conns_)
+    if (conn->inflight == 0 && conn->write_queue.empty() &&
+        conn->last_activity < cutoff)
+      victims.push_back(id);
+  for (const std::uint64_t id : victims) close_conn(id);
+}
+
+// --- executor ------------------------------------------------------------
+
+void Server::exec_push(ExecItem item) {
+  {
+    std::lock_guard lock(exec_mu_);
+    exec_queue_.push_back(std::move(item));
+  }
+  exec_cv_.notify_one();
+}
+
+void Server::executor_loop() {
+  for (;;) {
+    ExecItem item;
+    {
+      std::unique_lock lock(exec_mu_);
+      exec_cv_.wait(lock, [this] { return !exec_queue_.empty(); });
+      item = std::move(exec_queue_.front());
+      exec_queue_.pop_front();
+    }
+    switch (item.kind) {
+      case ExecItem::Kind::kStop:
+        puts_.clear();  // abandons any open ingest (FileWriter dtor)
+        return;
+      case ExecItem::Kind::kConnClosed:
+        puts_.erase(item.conn_id);
+        break;
+      case ExecItem::Kind::kRequest: {
+        handle_request(item);
+        const std::uint64_t conn_id = item.conn_id;
+        loop_.post([this, conn_id] {
+          --inflight_total_;
+          const auto it = conns_.find(conn_id);
+          if (it != conns_.end()) --it->second->inflight;
+          if (draining_) check_drain();
+        });
+        break;
+      }
+    }
+  }
+}
+
+Frame Server::error_frame(std::uint64_t request_id, ErrorCode code,
+                          const std::string& message) {
+  PayloadWriter w;
+  w.u16(static_cast<std::uint16_t>(code));
+  w.str(message);
+  return Frame{static_cast<std::uint16_t>(Op::kError), request_id, w.take()};
+}
+
+bool Server::exec_send(const ExecItem& item, Frame frame) {
+  Bytes buffer = encode_frame(frame);
+  {
+    std::unique_lock lock(item.gate->mu);
+    const bool ok = item.gate->cv.wait_for(
+        lock, std::chrono::milliseconds(config_.write_stall_timeout_ms),
+        [&] {
+          return item.gate->closed ||
+                 item.gate->queued + buffer.size() <=
+                     config_.write_queue_limit;
+        });
+    if (item.gate->closed) return false;
+    if (!ok) {
+      // The client stopped reading; it may not park the archive lane.
+      lock.unlock();
+      const std::uint64_t conn_id = item.conn_id;
+      loop_.post([this, conn_id] { close_conn(conn_id); });
+      return false;
+    }
+    item.gate->queued += buffer.size();
+  }
+  const std::uint64_t conn_id = item.conn_id;
+  loop_.post([this, conn_id, buf = std::move(buffer)]() mutable {
+    const auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;  // raced with close; gate closed too
+    enqueue_out(*it->second, std::move(buf), /*reserved=*/true);
+  });
+  return true;
+}
+
+void Server::handle_request(const ExecItem& item) {
+  obs::TraceSpan span("net.request");
+  span.set_args(item.frame.op, item.frame.payload.size());
+  const std::uint64_t id = item.frame.request_id;
+  const auto reply_op = static_cast<std::uint16_t>(Op::kReply);
+  PayloadReader req(item.frame.payload);
+  Frame reply{reply_op, id, {}};
+  bool streamed = false;
+
+  try {
+    switch (static_cast<Op>(item.frame.op)) {
+      case Op::kPing:
+        req.expect_done();
+        break;
+      case Op::kStat: {
+        const bool include_metrics = req.u8() != 0;
+        req.expect_done();
+        PayloadWriter w;
+        w.str(archive_->stat_json(include_metrics));
+        reply.payload = w.take();
+        break;
+      }
+      case Op::kMetrics: {
+        req.expect_done();
+        PayloadWriter w;
+        w.str(archive_->metrics().to_json());
+        reply.payload = w.take();
+        break;
+      }
+      case Op::kScrub: {
+        req.expect_done();
+        const tools::ScrubReport report = archive_->scrub();
+        PayloadWriter w;
+        w.u64(report.repair.nodes_repaired_total);
+        w.u64(report.repair.edges_repaired_total);
+        w.u32(report.repair.rounds);
+        w.u64(report.repair.nodes_unrecovered +
+              report.repair.edges_unrecovered);
+        w.u64(report.inconsistent_parities);
+        reply.payload = w.take();
+        break;
+      }
+      case Op::kList: {
+        req.expect_done();
+        const auto& files = archive_->files();
+        PayloadWriter w;
+        w.u32(static_cast<std::uint32_t>(files.size()));
+        for (const tools::FileEntry& entry : files) {
+          w.str(entry.name);
+          w.u64(entry.bytes);
+          w.u64(entry.first_block);
+        }
+        reply.payload = w.take();
+        break;
+      }
+      case Op::kPutBegin: {
+        const std::string name = req.str();
+        req.expect_done();
+        if (puts_.count(item.conn_id)) {
+          reply = error_frame(id, ErrorCode::kBadState,
+                              "PUT already open on this connection");
+        } else if (!puts_.empty()) {
+          // Only this thread opens writers, so a non-empty map IS the
+          // "another FileWriter is open" condition — reject as retryable
+          // busy instead of letting begin_file throw.
+          reply = error_frame(id, ErrorCode::kBusy,
+                              "another ingest is in progress");
+        } else {
+          puts_.emplace(item.conn_id, archive_->begin_file(name));
+        }
+        break;
+      }
+      case Op::kPutChunk: {
+        const auto it = puts_.find(item.conn_id);
+        if (it == puts_.end()) {
+          reply = error_frame(id, ErrorCode::kBadState,
+                              "PUT_CHUNK without PUT_BEGIN");
+        } else {
+          it->second.write(req.rest());
+        }
+        break;
+      }
+      case Op::kPutEnd: {
+        req.expect_done();
+        auto node = puts_.extract(item.conn_id);
+        if (node.empty()) {
+          reply = error_frame(id, ErrorCode::kBadState,
+                              "PUT_END without PUT_BEGIN");
+        } else {
+          // If close() throws, the writer dies with `node` and the file
+          // is abandoned — same as a dropped connection.
+          const tools::FileEntry& entry = node.mapped().close();
+          PayloadWriter w;
+          w.u64(entry.bytes);
+          w.u64(entry.first_block);
+          w.u64(entry.block_count(archive_->block_size()));
+          reply.payload = w.take();
+        }
+        break;
+      }
+      case Op::kGetFile:
+        streamed = true;
+        handle_get(item, req);
+        break;
+      case Op::kNodeFail: {
+        const std::uint32_t node = req.u32();
+        req.expect_done();
+        archive_->fail_node(node);
+        break;
+      }
+      case Op::kNodeHeal: {
+        const std::uint32_t node = req.u32();
+        req.expect_done();
+        archive_->heal_node(node);
+        break;
+      }
+      case Op::kNodeRebuild: {
+        const std::uint32_t node = req.u32();
+        req.expect_done();
+        const RepairReport report = archive_->rebuild_node(node);
+        PayloadWriter w;
+        w.u64(report.blocks_repaired_total());
+        w.u32(report.rounds);
+        w.u64(report.nodes_unrecovered + report.edges_unrecovered);
+        reply.payload = w.take();
+        break;
+      }
+      default:
+        reply = error_frame(id, ErrorCode::kUnknownOp, "unhandled opcode");
+        break;
+    }
+  } catch (const ProtocolError& e) {
+    reply = error_frame(id, ErrorCode::kBadPayload, e.what());
+  } catch (const CheckError& e) {
+    reply = error_frame(id, ErrorCode::kCheckFailed, e.what());
+  } catch (const std::exception& e) {
+    reply = error_frame(id, ErrorCode::kIo, e.what());
+  }
+
+  if (!streamed) exec_send(item, std::move(reply));
+  const auto hist = req_latency_us_.find(item.frame.op);
+  if (hist != req_latency_us_.end())
+    hist->second->observe(elapsed_us(item.enqueued));
+}
+
+void Server::handle_get(const ExecItem& item, PayloadReader& req) {
+  const std::uint64_t id = item.frame.request_id;
+  const std::string name = req.str();
+  req.expect_done();
+  if (archive_->find_file(name) == nullptr) {
+    exec_send(item, error_frame(id, ErrorCode::kNotFound,
+                                "no such file: " + name));
+    return;
+  }
+  tools::FileReader reader = archive_->open_reader(name);
+  std::uint64_t total = 0;
+  for (;;) {
+    const std::optional<BytesView> chunk = reader.next_chunk();
+    if (!chunk) {
+      exec_send(item,
+                error_frame(id, ErrorCode::kNotFound,
+                            "irrecoverable content in file: " + name));
+      return;
+    }
+    if (chunk->empty()) break;  // EOF
+    for (std::size_t off = 0; off < chunk->size();
+         off += config_.get_chunk_bytes) {
+      const std::size_t n =
+          std::min(config_.get_chunk_bytes, chunk->size() - off);
+      Frame data{static_cast<std::uint16_t>(Op::kGetData), id, {}};
+      data.payload.assign(chunk->begin() + static_cast<std::ptrdiff_t>(off),
+                          chunk->begin() + static_cast<std::ptrdiff_t>(off) +
+                              static_cast<std::ptrdiff_t>(n));
+      if (!exec_send(item, std::move(data))) return;  // client gone
+      total += n;
+    }
+  }
+  PayloadWriter w;
+  w.u64(total);
+  exec_send(item, Frame{static_cast<std::uint16_t>(Op::kGetEnd), id,
+                        w.take()});
+}
+
+}  // namespace aec::net

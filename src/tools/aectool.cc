@@ -147,16 +147,6 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
 /// Per-node traffic delta table for one operation (cluster archives):
 /// the survivors' read bytes ARE the repair traffic of a rebuild — the
 /// Dimakis bytes-per-surviving-node view.
@@ -195,7 +185,13 @@ Bytes read_whole_file(const std::string& path) {
 int run(const Args& args) {
   const auto option = [&](const char* key) -> const std::string& {
     const auto it = args.options.find(key);
-    AEC_CHECK_MSG(it != args.options.end(), "missing option " << key);
+    if (it == args.options.end()) {
+      // A missing required option is a usage error, not an internal
+      // failure: say what is missing, show the synopsis, exit 2.
+      std::fprintf(stderr, "error: '%s' requires %s\n",
+                   args.command.c_str(), key);
+      usage();
+    }
     return it->second;
   };
   const std::string root = option("--root");
@@ -249,7 +245,10 @@ int run(const Args& args) {
   auto archive = Archive::open(root, Engine::with_threads(threads));
 
   if (args.command == "put") {
-    AEC_CHECK_MSG(args.positional.size() == 1, "put needs exactly one FILE");
+    if (args.positional.size() != 1) {
+      std::fprintf(stderr, "error: put needs exactly one FILE\n");
+      usage();
+    }
     const Bytes content = read_whole_file(args.positional[0]);
     const FileEntry& entry = archive->add_file(option("--name"), content);
     std::printf("archived '%s': %llu bytes in %llu block(s) from d%lld%s\n",
@@ -332,28 +331,9 @@ int run(const Args& args) {
     const bool want_metrics = args.options.count("--metrics") != 0;
     if (want_json) {
       // One JSON object: spec + availability census (+ metrics snapshot
-      // when asked), so scripts stop parsing the human table.
-      std::string out = "{\"schema_version\":1";
-      out += ",\"codec\":\"" + json_escape(archive->codec().id()) + "\"";
-      out += ",\"store\":\"" + json_escape(archive->store_spec()) + "\"";
-      out += ",\"block_size\":" + std::to_string(archive->block_size());
-      out += ",\"data_blocks\":" + std::to_string(archive->blocks());
-      out += ",\"files\":" + std::to_string(archive->files().size());
-      out += ",\"availability\":[";
-      bool first = true;
-      for (const AvailabilityClassSummary& row :
-           archive->availability_summary()) {
-        if (!first) out += ',';
-        first = false;
-        out += "{\"class\":\"" + json_escape(row.label) + "\"";
-        out += ",\"expected\":" + std::to_string(row.expected);
-        out += ",\"missing\":" + std::to_string(row.missing) + "}";
-      }
-      out += "],\"missing\":" + std::to_string(archive->missing_blocks());
-      if (want_metrics)
-        out += ",\"metrics\":" + archive->metrics().to_json();
-      out += "}";
-      std::printf("%s\n", out.c_str());
+      // when asked), so scripts stop parsing the human table. The same
+      // payload the daemon's STAT opcode serves.
+      std::printf("%s\n", archive->stat_json(want_metrics).c_str());
       return 0;
     }
     std::printf("codec       : %s\n", archive->codec().id().c_str());
@@ -441,9 +421,11 @@ int run(const Args& args) {
     return 0;
   }
   if (args.command == "node") {
-    AEC_CHECK_MSG(args.positional.size() == 1,
-                  "node wants exactly one subcommand "
-                  "(fail | heal | rebuild | stat)");
+    if (args.positional.size() != 1) {
+      std::fprintf(stderr, "error: node wants exactly one subcommand "
+                           "(fail | heal | rebuild | stat)\n");
+      usage();
+    }
     const std::string& sub = args.positional[0];
     auto* cluster = archive->cluster();
     AEC_CHECK_MSG(cluster != nullptr,
@@ -508,8 +490,11 @@ int run(const Args& args) {
     usage();
   }
   if (args.command == "trace") {
-    AEC_CHECK_MSG(!args.positional.empty(),
-                  "trace wants a subcommand (scrub | get | put)");
+    if (args.positional.empty()) {
+      std::fprintf(stderr,
+                   "error: trace wants a subcommand (scrub | get | put)\n");
+      usage();
+    }
     const std::string& sub = args.positional[0];
     obs::TraceRing& ring = obs::TraceRing::global();
     ring.enable();

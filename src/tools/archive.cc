@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "core/codec/store_registry.h"
+#include "core/util/tagged_file.h"
 
 namespace aec::tools {
 
@@ -26,6 +27,16 @@ std::string hex_encode(const std::string& s) {
     const auto c = static_cast<unsigned char>(ch);
     out.push_back(digits[c >> 4]);
     out.push_back(digits[c & 0xF]);
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
   }
   return out;
 }
@@ -63,56 +74,48 @@ struct ParsedManifest {
 /// outside the block range, missing v2 end marker — is a CheckError
 /// here, not a confusing downstream failure.
 ParsedManifest parse_manifest(std::istream& in) {
-  std::string header;
-  std::getline(in, header);
-  const bool v2 = header == "aec-archive v2";
-  AEC_CHECK_MSG(v2 || header == "aec-archive v1",
-                "unknown manifest header '" << header << "'");
+  util::TaggedReader reader(in, "manifest");
+  const bool v2 = reader.header() == "aec-archive v2";
+  AEC_CHECK_MSG(v2 || reader.header() == "aec-archive v1",
+                "unknown manifest header '" << reader.header() << "'");
 
   ParsedManifest manifest;
-  bool saw_end = false;
-  std::string line;
-  while (std::getline(in, line)) {
-    AEC_CHECK_MSG(!saw_end, "manifest: content after end marker");
-    std::istringstream row(line);
-    std::string tag;
-    row >> tag;
-    if (v2 && tag == "codec") {
+  util::TaggedRow row;
+  while (reader.next(row)) {
+    if (v2 && row.tag() == "codec") {
       row >> manifest.codec_spec;
-    } else if (v2 && tag == "store") {
+    } else if (v2 && row.tag() == "store") {
       row >> manifest.store_spec;
-    } else if (!v2 && tag == "code") {
+    } else if (!v2 && row.tag() == "code") {
       // v1 manifests are AE-only: "code <alpha> <s> <p>".
       std::uint32_t alpha = 0;
       std::uint32_t s = 0;
       std::uint32_t p = 0;
       row >> alpha >> s >> p;
-      if (!row.fail())
-        manifest.codec_spec = CodeParams(alpha, s, p).name();
-    } else if (tag == "block_size") {
+      if (row.ok()) manifest.codec_spec = CodeParams(alpha, s, p).name();
+    } else if (row.tag() == "block_size") {
       row >> manifest.block_size;
-    } else if (tag == "blocks") {
+    } else if (row.tag() == "blocks") {
       row >> manifest.blocks;
-    } else if (tag == "file") {
+    } else if (row.tag() == "file") {
       FileEntry entry;
       std::string hex_name;
       row >> hex_name >> entry.first_block >> entry.bytes;
-      if (!row.fail()) entry.name = hex_decode(hex_name);
+      if (row.ok()) entry.name = hex_decode(hex_name);
       manifest.files.push_back(std::move(entry));
-    } else if (v2 && tag == "end") {
+    } else if (v2 && row.tag() == "end") {
       std::size_t count = 0;
       row >> count;
-      AEC_CHECK_MSG(!row.fail() && count == manifest.files.size(),
+      AEC_CHECK_MSG(row.ok() && count == manifest.files.size(),
                     "manifest: end marker expects "
                         << count << " files, found " << manifest.files.size()
                         << " (truncated or corrupt manifest)");
-      saw_end = true;
-    } else if (!tag.empty()) {
-      AEC_CHECK_MSG(false, "manifest: unknown tag '" << tag << "'");
+      reader.mark_end();
+    } else {
+      AEC_CHECK_MSG(false, "manifest: unknown tag '" << row.tag() << "'");
     }
-    AEC_CHECK_MSG(!row.fail(), "manifest: malformed line '" << line << "'");
   }
-  AEC_CHECK_MSG(!v2 || saw_end,
+  AEC_CHECK_MSG(!v2 || reader.saw_end(),
                 "manifest: missing end marker (truncated manifest)");
   AEC_CHECK_MSG(!manifest.codec_spec.empty() && manifest.block_size > 0,
                 "manifest: missing codec/block_size fields");
@@ -422,22 +425,15 @@ const CodeParams& Archive::params() const {
 }
 
 void Archive::save_manifest() const {
-  const fs::path tmp = root_ / "manifest.txt.tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    AEC_CHECK_MSG(out.good(), "cannot write manifest");
-    out << "aec-archive v2\n";
-    out << "codec " << codec_->id() << "\n";
-    out << "store " << store_spec_ << "\n";
-    out << "block_size " << block_size_ << "\n";
-    out << "blocks " << blocks() << "\n";
-    for (const FileEntry& entry : files_)
-      out << "file " << hex_encode(entry.name) << " " << entry.first_block
-          << " " << entry.bytes << "\n";
-    out << "end " << files_.size() << "\n";
-    AEC_CHECK_MSG(out.good(), "manifest write failed");
-  }
-  fs::rename(tmp, root_ / "manifest.txt");  // atomic-ish swap
+  util::TaggedWriter out("aec-archive v2");
+  out.row("codec", codec_->id());
+  out.row("store", store_spec_);
+  out.row("block_size", block_size_);
+  out.row("blocks", blocks());
+  for (const FileEntry& entry : files_)
+    out.row("file", hex_encode(entry.name), entry.first_block, entry.bytes);
+  out.row("end", files_.size());
+  out.write_atomic(root_ / "manifest.txt");
 }
 
 FileWriter Archive::begin_file(const std::string& name) {
@@ -567,6 +563,31 @@ obs::MetricsSnapshot Archive::metrics() const {
   return snap;
 }
 
+std::string Archive::stat_json(bool include_metrics) const {
+  // One JSON object: spec + availability census (+ metrics snapshot when
+  // asked). Shared by `aectool stat --json` and the daemon's STAT reply,
+  // so both surfaces emit the identical schema.
+  std::string out = "{\"schema_version\":1";
+  out += ",\"codec\":\"" + json_escape(codec_->id()) + "\"";
+  out += ",\"store\":\"" + json_escape(store_spec_) + "\"";
+  out += ",\"block_size\":" + std::to_string(block_size_);
+  out += ",\"data_blocks\":" + std::to_string(blocks());
+  out += ",\"files\":" + std::to_string(files_.size());
+  out += ",\"availability\":[";
+  bool first = true;
+  for (const AvailabilityClassSummary& row : availability_summary()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"class\":\"" + json_escape(row.label) + "\"";
+    out += ",\"expected\":" + std::to_string(row.expected);
+    out += ",\"missing\":" + std::to_string(row.missing) + "}";
+  }
+  out += "],\"missing\":" + std::to_string(missing_blocks());
+  if (include_metrics) out += ",\"metrics\":" + metrics().to_json();
+  out += "}";
+  return out;
+}
+
 std::uint64_t Archive::inject_damage(double fraction, std::uint64_t seed) {
   AEC_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
                 "fraction must be in [0,1]");
@@ -616,57 +637,60 @@ bool Archive::load_availability_sidecar() {
     fs::remove(path, ec);
   };
 
-  std::string header;
-  std::getline(in, header);
-  if (header != "aec-availability v1") {
-    discard();
-    return false;
-  }
   std::uint64_t blocks = 0;
   std::uint64_t present = 0;
   std::uint64_t missing = 0;
   bool saw_end = false;
   std::vector<BlockKey> keys;
-  std::string line;
   bool ok = true;
-  while (ok && std::getline(in, line)) {
-    std::istringstream row(line);
-    std::string tag;
-    row >> tag;
-    if (saw_end) {
-      ok = false;
-    } else if (tag == "blocks") {
-      row >> blocks;
-    } else if (tag == "present") {
-      row >> present;
-    } else if (tag == "missing") {
-      row >> missing;
-    } else if (tag == "m") {
-      std::string kind;
-      row >> kind;
-      BlockKey key;
-      if (kind == "d") {
-        row >> key.index;
-      } else if (kind == "p") {
-        std::string cls;
-        row >> cls >> key.index;
-        const auto parsed = parse_strand_class(cls);
-        if (!parsed) {
+  // Soft error policy: a sidecar is an optimization, never authority —
+  // any structural defect the shared reader throws for (malformed line,
+  // content after end) just means "stale, fall back to the seeding
+  // walk", not a failed open.
+  try {
+    util::TaggedReader reader(in, "availability sidecar");
+    if (reader.header() != "aec-availability v1") {
+      discard();
+      return false;
+    }
+    util::TaggedRow row;
+    while (ok && reader.next(row)) {
+      if (row.tag() == "blocks") {
+        row >> blocks;
+      } else if (row.tag() == "present") {
+        row >> present;
+      } else if (row.tag() == "missing") {
+        row >> missing;
+      } else if (row.tag() == "m") {
+        std::string kind;
+        row >> kind;
+        BlockKey key;
+        if (kind == "d") {
+          row >> key.index;
+        } else if (kind == "p") {
+          std::string cls;
+          row >> cls >> key.index;
+          const auto parsed = parse_strand_class(cls);
+          if (!parsed) {
+            ok = false;
+            continue;
+          }
+          key = BlockKey{BlockKey::Kind::kParity, *parsed, key.index};
+        } else {
           ok = false;
           continue;
         }
-        key = BlockKey{BlockKey::Kind::kParity, *parsed, key.index};
+        keys.push_back(key);
+      } else if (row.tag() == "end") {
+        reader.mark_end();
       } else {
         ok = false;
-        continue;
       }
-      keys.push_back(key);
-    } else if (tag == "end") {
-      saw_end = true;
-    } else if (!tag.empty()) {
-      ok = false;
+      if (!row.ok()) ok = false;
     }
-    if (row.fail()) ok = false;
+    saw_end = reader.saw_end();
+  } catch (const CheckError&) {
+    ok = false;
   }
   discard();
 
@@ -693,25 +717,18 @@ void Archive::save_availability_sidecar() const {
   std::vector<BlockKey> keys;
   for (const BlockKey& key : avail_index_.missing_sorted())
     if (session_->is_expected_key(key)) keys.push_back(key);
-  const fs::path tmp = root_ / "availability.txt.tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out.good()) return;
-    out << "aec-availability v1\n";
-    out << "blocks " << session_->size() << "\n";
-    out << "present " << store_->size() << "\n";
-    out << "missing " << keys.size() << "\n";
-    for (const BlockKey& key : keys) {
-      if (key.is_data())
-        out << "m d " << key.index << "\n";
-      else
-        out << "m p " << to_string(key.cls) << " " << key.index << "\n";
-    }
-    out << "end\n";
-    if (!out.good()) return;
+  util::TaggedWriter out("aec-availability v1");
+  out.row("blocks", session_->size());
+  out.row("present", store_->size());
+  out.row("missing", keys.size());
+  for (const BlockKey& key : keys) {
+    if (key.is_data())
+      out.row("m", "d", key.index);
+    else
+      out.row("m", "p", to_string(key.cls), key.index);
   }
-  std::error_code ec;
-  fs::rename(tmp, root_ / kSidecarName, ec);
+  out.row("end");
+  out.try_write_atomic(root_ / kSidecarName);  // best effort
 }
 
 std::uint64_t Archive::reindex() {

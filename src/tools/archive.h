@@ -276,6 +276,11 @@ class Archive {
   /// cluster — the `aectool stat --metrics` payload.
   obs::MetricsSnapshot metrics() const;
 
+  /// The `aectool stat --json` object (spec + availability census,
+  /// optionally the metrics snapshot) — also the daemon's STAT reply,
+  /// so both surfaces share one schema.
+  std::string stat_json(bool include_metrics = false) const;
+
   /// Deletes a random fraction of the block files (damage injection for
   /// demos/tests). Returns how many blocks were destroyed.
   std::uint64_t inject_damage(double fraction, std::uint64_t seed);

@@ -1,0 +1,156 @@
+// Wire-format robustness: framing round-trips under arbitrary chunking,
+// malformed/oversized input poisons the parser instead of crashing, and
+// payload decode failures are typed exceptions.
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace aec::net {
+namespace {
+
+TEST(Protocol, OpNamesAndRequestPredicate) {
+  EXPECT_TRUE(is_request_op(static_cast<std::uint16_t>(Op::kPing)));
+  EXPECT_TRUE(is_request_op(static_cast<std::uint16_t>(Op::kPutChunk)));
+  EXPECT_TRUE(is_request_op(static_cast<std::uint16_t>(Op::kNodeRebuild)));
+  EXPECT_FALSE(is_request_op(static_cast<std::uint16_t>(Op::kReply)));
+  EXPECT_FALSE(is_request_op(static_cast<std::uint16_t>(Op::kError)));
+  EXPECT_FALSE(is_request_op(0x7777));
+  EXPECT_STREQ(op_name(static_cast<std::uint16_t>(Op::kGetFile)),
+               "get_file");
+  EXPECT_STREQ(op_name(0x7777), "unknown");
+  EXPECT_STREQ(to_string(ErrorCode::kBusy), "busy");
+}
+
+TEST(Protocol, EncodeDecodeSingleFrame) {
+  Frame frame{static_cast<std::uint16_t>(Op::kStat), 42, {1, 2, 3}};
+  const Bytes wire = encode_frame(frame);
+  ASSERT_EQ(wire.size(), kHeaderSize + 3);
+
+  FrameParser parser;
+  parser.feed(wire);
+  const auto decoded = parser.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->op, frame.op);
+  EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->payload, frame.payload);
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_FALSE(parser.error());
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(Protocol, FrameRoundTripPropertyUnderArbitraryChunking) {
+  // Many frames with random ops/ids/payloads, concatenated, then fed to
+  // the parser in random-sized slices: every frame must come back
+  // intact, in order, regardless of how the stream is cut.
+  std::mt19937_64 rng(0xAEC1);
+  std::vector<Frame> sent;
+  Bytes wire;
+  for (int i = 0; i < 64; ++i) {
+    Frame frame;
+    frame.op = static_cast<std::uint16_t>(rng() % 0x120);
+    frame.request_id = rng();
+    frame.payload.resize(rng() % 600);
+    for (auto& b : frame.payload)
+      b = static_cast<std::uint8_t>(rng());
+    encode_frame(frame, wire);
+    sent.push_back(std::move(frame));
+  }
+
+  FrameParser parser;
+  std::vector<Frame> received;
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(1 + rng() % 97, wire.size() - pos);
+    parser.feed(BytesView(wire.data() + pos, n));
+    pos += n;
+    while (auto frame = parser.next()) received.push_back(std::move(*frame));
+  }
+  ASSERT_FALSE(parser.error());
+  ASSERT_EQ(received.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(received[i].op, sent[i].op);
+    EXPECT_EQ(received[i].request_id, sent[i].request_id);
+    EXPECT_EQ(received[i].payload, sent[i].payload);
+  }
+}
+
+TEST(Protocol, BadMagicPoisonsParser) {
+  FrameParser parser;
+  const Bytes garbage(kHeaderSize, 0x5A);
+  parser.feed(garbage);
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.error());
+  EXPECT_NE(parser.error_text().find("magic"), std::string::npos);
+  // Poisoned for good: even a valid frame afterwards yields nothing.
+  parser.feed(encode_frame(Frame{1, 1, {}}));
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.error());
+}
+
+TEST(Protocol, OversizedPayloadPoisonsParser) {
+  FrameParser parser(/*max_payload=*/1024);
+  Frame frame{1, 1, Bytes(2048, 0xAB)};
+  parser.feed(encode_frame(frame));
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.error());
+  EXPECT_NE(parser.error_text().find("exceeds"), std::string::npos);
+}
+
+TEST(Protocol, TruncatedFrameWaitsForMoreBytes) {
+  const Bytes wire = encode_frame(Frame{2, 7, Bytes(100, 1)});
+  FrameParser parser;
+  parser.feed(BytesView(wire.data(), wire.size() - 1));
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_FALSE(parser.error());  // incomplete ≠ malformed
+  parser.feed(BytesView(wire.data() + wire.size() - 1, 1));
+  ASSERT_TRUE(parser.next().has_value());
+}
+
+TEST(Protocol, PayloadWriterReaderRoundTrip) {
+  PayloadWriter w;
+  w.u8(7);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.str("hello \xE2\x9C\x93");
+  const Bytes raw_tail = {9, 8, 7};
+  w.raw(raw_tail);
+  const Bytes payload = w.take();
+
+  PayloadReader r(payload);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.str(), "hello \xE2\x9C\x93");
+  const BytesView rest = r.rest();
+  EXPECT_EQ(Bytes(rest.begin(), rest.end()), raw_tail);
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Protocol, PayloadReaderThrowsOnTruncation) {
+  const Bytes short_payload = {1, 2};
+  PayloadReader r(short_payload);
+  EXPECT_THROW(r.u32(), ProtocolError);
+}
+
+TEST(Protocol, PayloadReaderThrowsOnTruncatedString) {
+  PayloadWriter w;
+  w.u32(1000);  // string length prefix with no bytes behind it
+  const Bytes payload = w.take();
+  PayloadReader r(payload);
+  EXPECT_THROW(r.str(), ProtocolError);
+}
+
+TEST(Protocol, PayloadReaderThrowsOnTrailingBytes) {
+  const Bytes payload = {1, 2, 3};
+  PayloadReader r(payload);
+  r.u8();
+  EXPECT_THROW(r.expect_done(), ProtocolError);
+}
+
+}  // namespace
+}  // namespace aec::net
