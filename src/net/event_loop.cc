@@ -29,20 +29,33 @@ EventLoop::~EventLoop() {
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
+namespace {
+
+std::uint64_t dispatch_token(int fd, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) |
+         static_cast<std::uint32_t>(fd);
+}
+
+}  // namespace
+
 void EventLoop::add(int fd, std::uint32_t events, FdCallback cb) {
+  const std::uint32_t gen = next_gen_++;
   epoll_event ev{};
   ev.events = events;
-  ev.data.fd = fd;
+  ev.data.u64 = dispatch_token(fd, gen);
   AEC_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
                 "epoll_ctl(ADD, fd " << fd << "): "
                                      << std::strerror(errno));
-  callbacks_[fd] = std::move(cb);
+  callbacks_[fd] = Registration{gen, std::move(cb)};
 }
 
 void EventLoop::modify(int fd, std::uint32_t events) {
+  const auto it = callbacks_.find(fd);
+  AEC_CHECK_MSG(it != callbacks_.end(),
+                "epoll modify on unregistered fd " << fd);
   epoll_event ev{};
   ev.events = events;
-  ev.data.fd = fd;
+  ev.data.u64 = dispatch_token(fd, it->second.gen);
   AEC_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
                 "epoll_ctl(MOD, fd " << fd << "): "
                                      << std::strerror(errno));
@@ -90,11 +103,17 @@ void EventLoop::run() {
     }
     for (int i = 0; i < n; ++i) {
       // Look the callback up per event: an earlier callback in this
-      // batch may have removed (or even replaced) this fd.
-      const auto it = callbacks_.find(events[static_cast<std::size_t>(i)]
-                                          .data.fd);
-      if (it == callbacks_.end()) continue;
-      it->second(events[static_cast<std::size_t>(i)].events);
+      // batch may have removed (or even replaced) this fd. The
+      // generation check rejects stale events for an fd number a later
+      // callback re-registered within the same batch.
+      const std::uint64_t token =
+          events[static_cast<std::size_t>(i)].data.u64;
+      const int fd = static_cast<int>(token & 0xFFFFFFFFu);
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end() ||
+          it->second.gen != static_cast<std::uint32_t>(token >> 32))
+        continue;
+      it->second.cb(events[static_cast<std::size_t>(i)].events);
     }
     drain_posted();
     if (tick_) tick_();

@@ -7,10 +7,12 @@
 // and wakes the loop via an eventfd — this is how the archive-executor
 // thread hands finished responses back to the socket side.
 //
-// Dispatch is level-triggered and looked up by fd (not by stored
-// pointer), so a callback that removes another fd mid-batch cannot
-// leave a dangling reference: the removed fd's pending events are
-// simply skipped.
+// Dispatch is level-triggered and keyed on a (fd, generation) token
+// carried in epoll_event.data.u64, so a callback that removes another
+// fd mid-batch cannot leave a dangling reference: the removed fd's
+// pending events are simply skipped — even when a later callback in
+// the same batch re-registers a new connection that reuses the fd
+// number (the stale events carry the old generation and don't match).
 //
 // A periodic tick (set_tick) drives time-based work — idle-connection
 // sweeps, drain deadlines — without a timer-fd per connection.
@@ -57,6 +59,13 @@ class EventLoop {
   void set_tick(int interval_ms, std::function<void()> fn);
 
  private:
+  /// Registered fd state; `gen` disambiguates fd-number reuse within
+  /// one epoll_wait batch (see header comment).
+  struct Registration {
+    std::uint32_t gen = 0;
+    FdCallback cb;
+  };
+
   void drain_posted();
 
   int epoll_fd_ = -1;
@@ -64,7 +73,8 @@ class EventLoop {
   std::atomic<bool> running_{false};
   std::mutex mu_;
   std::vector<std::function<void()>> posted_;
-  std::unordered_map<int, FdCallback> callbacks_;
+  std::unordered_map<int, Registration> callbacks_;
+  std::uint32_t next_gen_ = 0;
   int tick_interval_ms_ = 500;
   std::function<void()> tick_;
 };

@@ -219,21 +219,26 @@ void Server::on_readable(Connection& conn) {
       req_count_->add();
       if (!is_request_op(frame->op)) {
         req_rejected_->add();
-        send_error_from_loop(conn, frame->request_id, ErrorCode::kUnknownOp,
-                             std::string("unknown opcode ") +
-                                 std::to_string(frame->op));
+        if (!send_error_from_loop(conn, frame->request_id,
+                                  ErrorCode::kUnknownOp,
+                                  std::string("unknown opcode ") +
+                                      std::to_string(frame->op)))
+          return;  // connection closed under us
         continue;
       }
       if (draining_) {
         req_rejected_->add();
-        send_error_from_loop(conn, frame->request_id,
-                             ErrorCode::kShuttingDown, "server is draining");
+        if (!send_error_from_loop(conn, frame->request_id,
+                                  ErrorCode::kShuttingDown,
+                                  "server is draining"))
+          return;
         continue;
       }
       if (inflight_total_ >= config_.max_inflight) {
         req_rejected_->add();
-        send_error_from_loop(conn, frame->request_id, ErrorCode::kBusy,
-                             "server at max in-flight requests");
+        if (!send_error_from_loop(conn, frame->request_id, ErrorCode::kBusy,
+                                  "server at max in-flight requests"))
+          return;
         continue;
       }
       ++inflight_total_;
@@ -250,8 +255,9 @@ void Server::on_readable(Connection& conn) {
       // The stream cannot be re-synchronized: answer with a typed
       // framing error (request id 0 — no frame to attribute it to),
       // flush, and drop the connection.
-      send_error_from_loop(conn, 0, ErrorCode::kBadFrame,
-                           conn.parser.error_text());
+      if (!send_error_from_loop(conn, 0, ErrorCode::kBadFrame,
+                                conn.parser.error_text()))
+        return;
       conn.close_after_flush = true;
       if (!flush(conn)) return;
     }
@@ -307,21 +313,36 @@ void Server::update_interest(Connection& conn) {
   loop_.modify(conn.fd, EPOLLIN | (want ? EPOLLOUT : 0u));
 }
 
-void Server::enqueue_out(Connection& conn, Bytes buffer, bool reserved) {
+bool Server::enqueue_out(Connection& conn, Bytes buffer, bool reserved) {
   if (!reserved) {
     std::lock_guard lock(conn.gate->mu);
     conn.gate->queued += buffer.size();
   }
   conn.write_queue.push_back(std::move(buffer));
   conn.last_activity = Clock::now();
-  flush(conn);  // opportunistic immediate write; arms EPOLLOUT otherwise
+  // Opportunistic immediate write; arms EPOLLOUT otherwise. May close
+  // the connection (fatal send error, close_after_flush drained).
+  return flush(conn);
 }
 
-void Server::send_error_from_loop(Connection& conn, std::uint64_t request_id,
+bool Server::send_error_from_loop(Connection& conn, std::uint64_t request_id,
                                   ErrorCode code,
                                   const std::string& message) {
-  enqueue_out(conn, encode_frame(error_frame(request_id, code, message)),
-              /*reserved=*/false);
+  Bytes buffer = encode_frame(error_frame(request_id, code, message));
+  std::size_t queued;
+  {
+    std::lock_guard lock(conn.gate->mu);
+    queued = conn.gate->queued;
+  }
+  if (queued + buffer.size() > config_.write_queue_limit) {
+    // The executor blocks on the gate when it exceeds the budget; the
+    // loop cannot. A client that streams rejected frames while never
+    // reading replies would otherwise grow the queue without bound —
+    // drop it instead.
+    close_conn(conn.id);
+    return false;
+  }
+  return enqueue_out(conn, std::move(buffer), /*reserved=*/false);
 }
 
 void Server::close_conn(std::uint64_t conn_id) {

@@ -148,9 +148,14 @@ class Server {
   bool flush(Connection& conn);
   void update_interest(Connection& conn);
   /// Enqueues an encoded buffer. `reserved` marks bytes the executor
-  /// already charged against the gate.
-  void enqueue_out(Connection& conn, Bytes buffer, bool reserved);
-  void send_error_from_loop(Connection& conn, std::uint64_t request_id,
+  /// already charged against the gate. Returns the flush result: false
+  /// when the connection was closed — callers on the loop thread must
+  /// not touch `conn` afterwards.
+  bool enqueue_out(Connection& conn, Bytes buffer, bool reserved);
+  /// Loop-originated error reply, subject to the same write budget as
+  /// executor responses; false when the connection was closed (budget
+  /// exceeded or fatal send error) — `conn` is gone on false.
+  bool send_error_from_loop(Connection& conn, std::uint64_t request_id,
                             ErrorCode code, const std::string& message);
   void close_conn(std::uint64_t conn_id);
   void sweep_idle();

@@ -32,11 +32,26 @@ std::string hex_encode(const std::string& s) {
 }
 
 std::string json_escape(const std::string& s) {
+  static const char* digits = "0123456789abcdef";
   std::string out;
   out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {  // remaining control chars need \u00XX
+          out += "\\u00";
+          out.push_back(digits[c >> 4]);
+          out.push_back(digits[c & 0xF]);
+        } else {
+          out.push_back(ch);
+        }
+    }
   }
   return out;
 }

@@ -67,6 +67,23 @@ class RawConn {
   }
   void send_frame(const Frame& frame) { send_bytes(encode_frame(frame)); }
 
+  /// Like send_bytes but returns false (instead of throwing) once the
+  /// server reset or closed the connection.
+  bool try_send_frame(const Frame& frame) {
+    const Bytes bytes = encode_frame(frame);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
   /// Next frame, or nullopt once the server closed the connection.
   std::optional<Frame> recv_frame() {
     for (;;) {
@@ -126,6 +143,17 @@ class NetServerTest : public ::testing::Test {
     ClientConfig config;
     config.port = server_->port();
     return config;
+  }
+
+  /// Tears the SetUp server down and serves again with `config` (the
+  /// idle sweep stays disabled; tests control connection lifetime).
+  void restart_server(ServerConfig config) {
+    server_->shutdown();
+    server_thread_.join();
+    server_.reset();
+    config.idle_timeout_ms = 0;
+    server_ = std::make_unique<Server>(archive_.get(), config);
+    server_thread_ = std::thread([this] { server_->run(); });
   }
 
   fs::path root_;
@@ -308,6 +336,29 @@ TEST_F(NetServerTest, SecondIngestIsBusyUntilFirstDisconnects) {
   }
   for (const auto& entry : other.list())
     EXPECT_NE(entry.name, "held") << "abandoned ingest left a manifest entry";
+}
+
+TEST_F(NetServerTest, ErrorFloodTripsWriteBudget) {
+  // A client that streams rejected frames while never reading the
+  // replies must be dropped once the queued error replies exceed the
+  // write budget — loop-originated sends respect write_queue_limit
+  // rather than growing the write queue without bound.
+  ServerConfig config;
+  config.write_queue_limit = 4 * 1024;
+  restart_server(config);
+  RawConn conn(server_->port());
+  const Frame bad{0x7777, 1, {}};
+  // Flood until the server-side close surfaces as a failed send (RST).
+  // The volume needed is environment-dependent — the kernel's
+  // auto-tuned socket buffers absorb replies before the server's own
+  // write queue (the budgeted part) starts growing — so loop on a
+  // deadline, not an iteration count.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool dropped = false;
+  while (!dropped && std::chrono::steady_clock::now() < deadline)
+    dropped = !conn.try_send_frame(bad);
+  EXPECT_TRUE(dropped) << "server kept absorbing an unread error flood";
 }
 
 TEST_F(NetServerTest, MetricsExposeNetCounters) {
