@@ -17,8 +17,14 @@
 //   (default 96 4096; --json emits one JSON object per phase and
 //   suppresses the table — the cross-PR perf-tracking format)
 //
-// NOTE: this container is single-core; thread counts > 1 cannot beat
-// serial here. Run on multicore hardware for real scaling.
+// Each phase runs kReps times into a fresh root and reports the best
+// wall time. Earlier single-shot runs recorded a phantom "sharded(8)
+// t=4 regression" (10.9 vs 42.8 MB/s at t=1) that dissolved under
+// repetition and phase reordering: on this shared single-core box,
+// one-shot phase timings vary 5-10× run to run, and thread counts
+// above hw_cores oversubscribe the CPU so scheduler/writeback noise
+// lands somewhere different every run. The JSON rows carry hw_cores
+// and flag oversubscribed phases so readers can discount them.
 #include <sys/resource.h>
 
 #include <chrono>
@@ -27,6 +33,7 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 
 #include "common/rng.h"
 #include "tools/archive.h"
@@ -106,67 +113,87 @@ int run(std::uint64_t file_mib, std::size_t block_size, bool json) {
       {"streamed file t=1", true, 1, "file"},
       {"streamed file t=4", true, 4, "file"},
       {"streamed sharded(8) t=1", true, 1, "sharded(8)"},
+      {"streamed sharded(8,sync) t=1", true, 1, "sharded(8,sync)"},
       {"streamed sharded(8) t=4", true, 4, "sharded(8)"},
       {"buffered file t=1", false, 1, "file"},
       {"buffered file t=4", false, 4, "file"},
   };
+  constexpr int kReps = 3;
+  const unsigned hw_cores = std::thread::hardware_concurrency();
   bool all_ok = true;
   int phase_index = 0;
   for (const Phase& phase : phases) {
     const std::uint64_t seed = 77;
-    const fs::path root = base / ("phase_" + std::to_string(phase_index++));
-    auto archive = Archive::create(root, "AE(3,2,5)", block_size,
-                                   Engine::with_threads(phase.threads),
-                                   phase.store_spec);
-    const auto start = Clock::now();
-    if (phase.streamed) {
-      SourceStream source(seed);
-      FileWriter writer = archive->begin_file("doc");
-      std::uint64_t offset = 0;
-      while (offset < total_bytes) {
-        const std::size_t len = static_cast<std::size_t>(
-            std::min<std::uint64_t>(kChunkBytes, total_bytes - offset));
-        writer.write(source.next(len));
-        offset += len;
+    double best_wall = 1e100;
+    double rss_after_ingest = 0.0;
+    bool phase_ok = true;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const fs::path root = base / ("phase_" + std::to_string(phase_index) +
+                                    "_rep" + std::to_string(rep));
+      auto archive = Archive::create(root, "AE(3,2,5)", block_size,
+                                     Engine::with_threads(phase.threads),
+                                     phase.store_spec);
+      const auto start = Clock::now();
+      if (phase.streamed) {
+        SourceStream source(seed);
+        FileWriter writer = archive->begin_file("doc");
+        std::uint64_t offset = 0;
+        while (offset < total_bytes) {
+          const std::size_t len = static_cast<std::size_t>(
+              std::min<std::uint64_t>(kChunkBytes, total_bytes - offset));
+          writer.write(source.next(len));
+          offset += len;
+        }
+        writer.close();
+      } else {
+        SourceStream source(seed);
+        Bytes content;
+        content.reserve(total_bytes);
+        std::uint64_t offset = 0;
+        while (offset < total_bytes) {
+          const std::size_t len = static_cast<std::size_t>(
+              std::min<std::uint64_t>(kChunkBytes, total_bytes - offset));
+          const Bytes chunk = source.next(len);
+          content.insert(content.end(), chunk.begin(), chunk.end());
+          offset += len;
+        }
+        archive->add_file("doc", content);
       }
-      writer.close();
-    } else {
-      SourceStream source(seed);
-      Bytes content;
-      content.reserve(total_bytes);
-      std::uint64_t offset = 0;
-      while (offset < total_bytes) {
-        const std::size_t len = static_cast<std::size_t>(
-            std::min<std::uint64_t>(kChunkBytes, total_bytes - offset));
-        const Bytes chunk = source.next(len);
-        content.insert(content.end(), chunk.begin(), chunk.end());
-        offset += len;
-      }
-      archive->add_file("doc", content);
-    }
-    const double wall = seconds_since(start);
-    // Sample before verification: read_file materializes the whole
-    // payload and would otherwise dominate the streamed phases' RSS.
-    const double rss_after_ingest = peak_rss_mib();
+      const double wall = seconds_since(start);
+      if (wall < best_wall) best_wall = wall;
+      // Sample before verification: read_file materializes the whole
+      // payload and would otherwise dominate the streamed phases' RSS.
+      if (rep == 0) rss_after_ingest = peak_rss_mib();
 
-    const bool ok = verify_file(*archive, "doc", seed, total_bytes);
-    all_ok = all_ok && ok;
+      phase_ok = phase_ok && verify_file(*archive, "doc", seed, total_bytes);
+      archive.reset();
+      fs::remove_all(root);  // keep the disk footprint at one phase
+    }
+    ++phase_index;
+    all_ok = all_ok && phase_ok;
+    const bool oversubscribed = hw_cores != 0 && phase.threads > hw_cores;
     if (json) {
       std::printf(
           "{\"schema_version\":1,\"bench\":\"archive_ingest\",\"phase\":\"%s\","
           "\"streamed\":%s,\"threads\":%zu,\"store\":\"%s\","
           "\"file_mib\":%llu,\"block_size\":%zu,\"mb_per_s\":%.1f,"
-          "\"wall_s\":%.3f,\"peak_rss_mib\":%.1f,\"ok\":%s}\n",
+          "\"wall_s\":%.3f,\"peak_rss_mib\":%.1f,\"reps\":%d,"
+          "\"hw_cores\":%u,\"note\":\"%s\",\"ok\":%s}\n",
           phase.label, phase.streamed ? "true" : "false", phase.threads,
           phase.store_spec, static_cast<unsigned long long>(file_mib),
-          block_size, mb / wall, wall, rss_after_ingest,
-          ok ? "true" : "false");
+          block_size, mb / best_wall, best_wall, rss_after_ingest, kReps,
+          hw_cores,
+          oversubscribed
+              ? "threads > hw_cores: oversubscribed, best-of-reps still "
+                "noise-prone — discount vs t=1 rows"
+              : "best of reps",
+          phase_ok ? "true" : "false");
     } else {
-      std::printf("%-30s %10.1f %12.2f %14.1f%s\n", phase.label, mb / wall,
-                  wall, rss_after_ingest, ok ? "" : "  [BYTE MISMATCH]");
+      std::printf("%-30s %10.1f %12.2f %14.1f%s%s\n", phase.label,
+                  mb / best_wall, best_wall, rss_after_ingest,
+                  oversubscribed ? "  [oversubscribed]" : "",
+                  phase_ok ? "" : "  [BYTE MISMATCH]");
     }
-    archive.reset();
-    fs::remove_all(root);  // keep the disk footprint at one phase
   }
   fs::remove_all(base);
 

@@ -3,16 +3,27 @@
 //
 // The paper's performance story is architectural (2-block repairs, O(1)
 // strand-head memory); these numbers ground it in bytes/second.
+//
+//   bench_codec_micro --json
+//     skips google-benchmark and instead emits one JSON row per
+//     (kernel variant × op) — xor / gf_mul / gf_axpy throughput with a
+//     byte-identity check against the scalar reference. The 16 KiB rows
+//     are L1-resident (compute-bound: the kernel speedup shows); the
+//     1 MiB rows are memory-bound context. The cross-PR perf-tracking
+//     format; the committed snapshot lives in BENCH_codec.json.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
+#include "common/cpu.h"
 #include "common/rng.h"
 #include "common/xor_engine.h"
 #include "core/codec/decoder.h"
 #include "core/codec/encoder.h"
 #include "core/codec/tamper.h"
+#include "gf/gf256.h"
 #include "rs/reed_solomon.h"
 
 namespace {
@@ -189,9 +200,127 @@ double measure_xor_speedup() {
   return bytewise / wide;
 }
 
+// --- per-kernel JSON mode ---------------------------------------------------
+
+/// Best-of-`kTrials` wall time of `reps` calls to `fn` — the minimum is
+/// the least-noise estimator on a shared box.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  constexpr int kTrials = 5;
+  double best = 1e100;
+  fn();  // warm-up (also faults pages / builds tables)
+  for (int t = 0; t < kTrials; ++t) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) fn();
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+struct KernelRow {
+  const char* op;      // "xor" | "gf_mul" | "gf_axpy"
+  const char* kernel;  // variant name
+  std::size_t buf_bytes;
+  double mb_per_s;
+  bool identical;  // byte-identity vs the scalar reference
+};
+
+/// One variant's throughput + identity row. `apply(dst, src, n)` runs
+/// the variant; `reference` is the scalar baseline for the identity
+/// check (run on identical inputs).
+template <typename Apply, typename Ref>
+KernelRow measure_kernel(const char* op, const char* kernel,
+                         std::size_t buf_bytes, Apply&& apply,
+                         Ref&& reference) {
+  Rng rng(97 + buf_bytes + static_cast<std::uint64_t>(op[0]));
+  const Bytes src = rng.random_block(buf_bytes);
+  const Bytes dst0 = rng.random_block(buf_bytes);
+
+  Bytes got(dst0), want(dst0);
+  apply(got.data(), src.data(), buf_bytes);
+  reference(want.data(), src.data(), buf_bytes);
+  const bool identical = got == want;
+
+  Bytes dst(dst0);
+  const int reps = static_cast<int>((std::size_t{64} << 20) / buf_bytes);
+  const double secs =
+      best_seconds(reps, [&] { apply(dst.data(), src.data(), buf_bytes); });
+  const double mb_per_s = static_cast<double>(buf_bytes) * reps /
+                          (1024.0 * 1024.0) / secs;
+  return {op, kernel, buf_bytes, mb_per_s, identical};
+}
+
+int run_kernel_json() {
+  // 16 KiB: L1-resident, compute-bound — the row the ≥4× SIMD-speedup
+  // acceptance gate reads. 1 MiB: memory-bound context.
+  constexpr std::size_t kSizes[] = {16 * 1024, 1 << 20};
+  constexpr gf::Elem kCoeff = 0x57;  // generic (not 0/1/2 special cases)
+  bool all_identical = true;
+
+  std::vector<KernelRow> rows;
+  const auto xor_kernels = available_xor_kernels();
+  const auto gf_kernels = gf::available_gf_kernels();
+  for (const std::size_t size : kSizes) {
+    for (const auto& k : xor_kernels)
+      rows.push_back(measure_kernel(
+          "xor", k.name, size, k.xor_into, xor_kernels.front().xor_into));
+    for (const auto& k : gf_kernels) {
+      rows.push_back(measure_kernel(
+          "gf_mul", k.name, size,
+          [&](std::uint8_t* d, const std::uint8_t* s, std::size_t n) {
+            k.mul_slice(d, s, n, kCoeff);
+          },
+          [&](std::uint8_t* d, const std::uint8_t* s, std::size_t n) {
+            gf_kernels.front().mul_slice(d, s, n, kCoeff);
+          }));
+      rows.push_back(measure_kernel(
+          "gf_axpy", k.name, size,
+          [&](std::uint8_t* d, const std::uint8_t* s, std::size_t n) {
+            k.axpy_slice(d, s, n, kCoeff);
+          },
+          [&](std::uint8_t* d, const std::uint8_t* s, std::size_t n) {
+            gf_kernels.front().axpy_slice(d, s, n, kCoeff);
+          }));
+    }
+  }
+
+  // Scalar baseline per (op, size) for the speedup column.
+  const auto scalar_mb_per_s = [&](const KernelRow& row) {
+    for (const KernelRow& s : rows)
+      if (std::strcmp(s.kernel, "scalar") == 0 &&
+          std::strcmp(s.op, row.op) == 0 && s.buf_bytes == row.buf_bytes)
+        return s.mb_per_s;
+    return row.mb_per_s;
+  };
+  for (const KernelRow& row : rows) {
+    all_identical = all_identical && row.identical;
+    std::printf(
+        "{\"schema_version\":1,\"bench\":\"codec_micro\",\"phase\":"
+        "\"%s %s %zuK\",\"op\":\"%s\",\"kernel\":\"%s\",\"buf_bytes\":%zu,"
+        "\"mb_per_s\":%.1f,\"speedup_vs_scalar\":%.2f,\"selected\":\"%s\","
+        "\"ok\":%s}\n",
+        row.op, row.kernel, row.buf_bytes / 1024, row.op, row.kernel,
+        row.buf_bytes, row.mb_per_s, row.mb_per_s / scalar_mb_per_s(row),
+        selected_kernel_name(), row.identical ? "true" : "false");
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAILED: a kernel variant diverged from the scalar "
+                 "reference\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) return run_kernel_json();
+
   const double speedup = measure_xor_speedup();
   std::fprintf(stderr, "xor_into word-wide speedup over byte loop: %.1fx\n",
                speedup);

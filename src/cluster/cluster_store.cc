@@ -336,6 +336,14 @@ void ClusterStore::drop_payload_cache() const {
   }
 }
 
+void ClusterStore::flush() const {
+  for (const auto& node_ptr : nodes_) {
+    Node& n = *node_ptr;
+    std::shared_lock lock(n.mu);
+    if (!n.staged) n.child->flush();
+  }
+}
+
 bool ClusterStore::for_each_key(
     const std::function<void(const BlockKey&)>& fn) const {
   // Capability probe before the real pass: the base contract is

@@ -105,6 +105,7 @@ class ClusterStore final : public BlockStore {
   void prefetch(const std::vector<BlockKey>& keys) const override;
   bool thread_safe() const noexcept override { return children_safe_; }
   void drop_payload_cache() const override;
+  void flush() const override;
   bool for_each_key(
       const std::function<void(const BlockKey&)>& fn) const override;
   void rescan() override;

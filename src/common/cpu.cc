@@ -1,0 +1,101 @@
+#include "common/cpu.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace aec {
+
+const char* to_string(KernelTier tier) noexcept {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kSse2:
+      return "sse2";
+    case KernelTier::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+bool cpu_supports(KernelTier tier) noexcept {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return true;
+    case KernelTier::kSse2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case KernelTier::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+  }
+  return false;
+}
+
+bool cpu_has_ssse3() noexcept {
+  return __builtin_cpu_supports("ssse3") != 0;
+}
+
+#else  // non-x86: scalar only
+
+bool cpu_supports(KernelTier tier) noexcept {
+  return tier == KernelTier::kScalar;
+}
+
+bool cpu_has_ssse3() noexcept { return false; }
+
+#endif
+
+KernelTier best_supported_tier() noexcept {
+  if (cpu_supports(KernelTier::kAvx2)) return KernelTier::kAvx2;
+  if (cpu_supports(KernelTier::kSse2)) return KernelTier::kSse2;
+  return KernelTier::kScalar;
+}
+
+KernelTier parse_kernel_override(const char* value,
+                                 KernelTier fallback) noexcept {
+  KernelTier requested = fallback;
+  if (value == nullptr || value[0] == '\0') return fallback;
+  if (std::strcmp(value, "scalar") == 0) {
+    requested = KernelTier::kScalar;
+  } else if (std::strcmp(value, "sse2") == 0) {
+    requested = KernelTier::kSse2;
+  } else if (std::strcmp(value, "avx2") == 0) {
+    requested = KernelTier::kAvx2;
+  } else {
+    std::fprintf(stderr,
+                 "AEC_KERNEL='%s' not recognized (want scalar|sse2|avx2); "
+                 "keeping '%s'\n",
+                 value, to_string(fallback));
+    return fallback;
+  }
+  if (!cpu_supports(requested)) {
+    const KernelTier best = best_supported_tier();
+    std::fprintf(stderr,
+                 "AEC_KERNEL='%s' not supported by this CPU; using '%s'\n",
+                 value, to_string(best));
+    return best;
+  }
+  return requested;
+}
+
+KernelTier selected_kernel_tier() noexcept {
+  static const KernelTier tier = [] {
+    KernelTier t = best_supported_tier();
+    t = parse_kernel_override(std::getenv("AEC_KERNEL"), t);
+    obs::MetricsRegistry::global().gauge("kernel.tier")->set(
+        static_cast<int>(t));
+    obs::MetricsRegistry::global().gauge("kernel.simd_width_bits")->set(
+        t == KernelTier::kAvx2 ? 256 : t == KernelTier::kSse2 ? 128 : 64);
+    return t;
+  }();
+  return tier;
+}
+
+const char* selected_kernel_name() noexcept {
+  return to_string(selected_kernel_tier());
+}
+
+}  // namespace aec

@@ -1,0 +1,52 @@
+// Runtime CPU feature detection and compute-kernel tier selection.
+//
+// The XOR and GF(256) hot loops ship in three variants — portable scalar,
+// SSE2 (128-bit) and AVX2 (256-bit) — compiled into every binary via
+// per-function target attributes and chosen once per process at first
+// use: the best tier the CPU supports, overridable with AEC_KERNEL=
+// scalar|sse2|avx2 (clamped down, never up, when the CPU lacks the
+// requested tier). The selection is surfaced as kernel.* gauges in the
+// global MetricsRegistry and as the "kernel" field of `aectool stat`.
+#pragma once
+
+namespace aec {
+
+/// Compute-kernel tiers, ordered: a CPU that supports tier T supports
+/// every lower tier.
+enum class KernelTier : int {
+  kScalar = 0,  ///< portable word loop, no SIMD
+  kSse2 = 1,    ///< 128-bit (x86-64 baseline; GF needs SSSE3 on top)
+  kAvx2 = 2,    ///< 256-bit
+};
+
+/// "scalar" / "sse2" / "avx2".
+const char* to_string(KernelTier tier) noexcept;
+
+/// True when the running CPU can execute this tier's XOR kernels.
+bool cpu_supports(KernelTier tier) noexcept;
+
+/// True when the CPU has PSHUFB (SSSE3) — the 128-bit GF(256)
+/// split-table kernel needs it on top of SSE2; practically every SSE2
+/// machine since ~2006 has it.
+bool cpu_has_ssse3() noexcept;
+
+/// Highest tier cpu_supports() answers true for.
+KernelTier best_supported_tier() noexcept;
+
+/// Parses an AEC_KERNEL override value. Unknown strings keep `fallback`
+/// (with a one-line stderr warning); a tier the CPU cannot execute is
+/// clamped to best_supported_tier(). Exposed for tests — production code
+/// goes through selected_kernel_tier().
+KernelTier parse_kernel_override(const char* value,
+                                 KernelTier fallback) noexcept;
+
+/// The process-wide tier every dispatched kernel uses, resolved once on
+/// first call: AEC_KERNEL env override, else best_supported_tier().
+/// Resolution also publishes the kernel.tier / kernel.simd_width_bits
+/// gauges to the global MetricsRegistry.
+KernelTier selected_kernel_tier() noexcept;
+
+/// to_string(selected_kernel_tier()).
+const char* selected_kernel_name() noexcept;
+
+}  // namespace aec

@@ -4,21 +4,46 @@
 
 #include "common/check.h"
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define AEC_X86 1
+#endif
+
 namespace aec {
 
-void xor_into(std::span<std::uint8_t> dst, BytesView src) {
-  AEC_CHECK_MSG(dst.size() == src.size(),
-                "xor_into: size mismatch " << dst.size() << " vs "
-                                           << src.size());
-  std::size_t n = dst.size();
-  std::uint8_t* d = dst.data();
-  const std::uint8_t* s = src.data();
+namespace {
 
-  // Word loops via memcpy keep the code free of alignment UB; GCC/Clang
-  // lower the memcpys to plain loads/stores. The 4-word (32-byte) main
-  // loop gives the vectorizer a full SSE/AVX iteration to work with;
-  // bench_codec_micro's BM_XorIntoByteLoop baseline tracks the speedup
-  // over the naive byte loop (~8–15× on typical x86-64).
+// --- scalar -----------------------------------------------------------------
+//
+// The reference every SIMD variant is conformance-tested against, and
+// what AEC_KERNEL=scalar selects. Vectorization is disabled so "scalar"
+// really means no SIMD — otherwise GCC would quietly lower the word loop
+// to SSE2 and the kernel tiers would measure as noise apart.
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define AEC_NO_VECTORIZE __attribute__((optimize("no-tree-vectorize")))
+#else
+#define AEC_NO_VECTORIZE
+#endif
+
+#ifdef AEC_X86
+
+AEC_NO_VECTORIZE
+void xor_scalar(std::uint8_t* d, const std::uint8_t* s, std::size_t n) {
+  // On x86 the scalar kernel is the honest byte-at-a-time reference —
+  // the SIMD tiers carry production speed (dispatch never picks scalar
+  // unless AEC_KERNEL forces it), and a word-wide "scalar" already sits
+  // at the 2-load+1-store port limit, which would make kernel-tier
+  // comparisons meaningless.
+  for (std::size_t i = 0; i < n; ++i) d[i] ^= s[i];
+}
+
+#else
+
+void xor_scalar(std::uint8_t* d, const std::uint8_t* s, std::size_t n) {
+  // Non-x86: scalar is the only variant, so keep the word loop (memcpy
+  // avoids alignment UB and lowers to plain 64-bit loads/stores) and let
+  // the auto-vectorizer do what it wants.
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
     std::uint64_t a0, a1, a2, a3, b0, b1, b2, b3;
@@ -49,6 +74,168 @@ void xor_into(std::span<std::uint8_t> dst, BytesView src) {
   for (; i < n; ++i) d[i] ^= s[i];  // byte tail
 }
 
+#endif  // AEC_X86
+
+AEC_NO_VECTORIZE
+bool all_zero_scalar(const std::uint8_t* p, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    if (w != 0) return false;
+  }
+  for (; i < n; ++i)
+    if (p[i] != 0) return false;
+  return true;
+}
+
+// --- SSE2 / AVX2 ------------------------------------------------------------
+//
+// Unaligned loads/stores throughout: block payloads live in plain
+// std::vector storage. Each variant handles its own sub-width tail by
+// falling through to the scalar loop.
+
+#ifdef AEC_X86
+
+__attribute__((target("sse2"))) void xor_sse2(std::uint8_t* d,
+                                              const std::uint8_t* s,
+                                              std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m128i a0 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(d + i));
+    const __m128i a1 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(d + i + 16));
+    const __m128i a2 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(d + i + 32));
+    const __m128i a3 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(d + i + 48));
+    const __m128i b0 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(s + i));
+    const __m128i b1 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(s + i + 16));
+    const __m128i b2 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(s + i + 32));
+    const __m128i b3 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(s + i + 48));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(d + i),
+                     _mm_xor_si128(a0, b0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(d + i + 16),
+                     _mm_xor_si128(a1, b1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(d + i + 32),
+                     _mm_xor_si128(a2, b2));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(d + i + 48),
+                     _mm_xor_si128(a3, b3));
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(d + i));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(d + i),
+                     _mm_xor_si128(a, b));
+  }
+  xor_scalar(d + i, s + i, n - i);
+}
+
+__attribute__((target("sse2"))) bool all_zero_sse2(const std::uint8_t* p,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  const __m128i zero = _mm_setzero_si128();
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(v, zero)) != 0xFFFF) return false;
+  }
+  return all_zero_scalar(p + i, n - i);
+}
+
+__attribute__((target("avx2"))) void xor_avx2(std::uint8_t* d,
+                                              const std::uint8_t* s,
+                                              std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    const __m256i a0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(d + i));
+    const __m256i a1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(d + i + 32));
+    const __m256i a2 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(d + i + 64));
+    const __m256i a3 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(d + i + 96));
+    const __m256i b0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(s + i));
+    const __m256i b1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(s + i + 32));
+    const __m256i b2 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(s + i + 64));
+    const __m256i b3 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(s + i + 96));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i),
+                        _mm256_xor_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i + 32),
+                        _mm256_xor_si256(a1, b1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i + 64),
+                        _mm256_xor_si256(a2, b2));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i + 96),
+                        _mm256_xor_si256(a3, b3));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i),
+                        _mm256_xor_si256(a, b));
+  }
+  xor_scalar(d + i, s + i, n - i);
+}
+
+__attribute__((target("avx2"))) bool all_zero_avx2(const std::uint8_t* p,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    if (!_mm256_testz_si256(v, v)) return false;
+  }
+  return all_zero_scalar(p + i, n - i);
+}
+
+#endif  // AEC_X86
+
+const XorKernel& dispatched_kernel() {
+  static const XorKernel kernel = [] {
+    const KernelTier tier = selected_kernel_tier();
+    for (const XorKernel& k : available_xor_kernels())
+      if (k.tier == tier) return k;
+    return XorKernel{KernelTier::kScalar, "scalar", &xor_scalar,
+                     &all_zero_scalar};
+  }();
+  return kernel;
+}
+
+}  // namespace
+
+std::vector<XorKernel> available_xor_kernels() {
+  std::vector<XorKernel> kernels{
+      {KernelTier::kScalar, "scalar", &xor_scalar, &all_zero_scalar}};
+#ifdef AEC_X86
+  if (cpu_supports(KernelTier::kSse2))
+    kernels.push_back({KernelTier::kSse2, "sse2", &xor_sse2, &all_zero_sse2});
+  if (cpu_supports(KernelTier::kAvx2))
+    kernels.push_back({KernelTier::kAvx2, "avx2", &xor_avx2, &all_zero_avx2});
+#endif
+  return kernels;
+}
+
+void xor_into(std::span<std::uint8_t> dst, BytesView src) {
+  AEC_CHECK_MSG(dst.size() == src.size(),
+                "xor_into: size mismatch " << dst.size() << " vs "
+                                           << src.size());
+  dispatched_kernel().xor_into(dst.data(), src.data(), dst.size());
+}
+
 Bytes xor_blocks(BytesView a, BytesView b) {
   AEC_CHECK_MSG(a.size() == b.size(),
                 "xor_blocks: size mismatch " << a.size() << " vs "
@@ -59,9 +246,7 @@ Bytes xor_blocks(BytesView a, BytesView b) {
 }
 
 bool all_zero(BytesView b) noexcept {
-  for (std::uint8_t v : b)
-    if (v != 0) return false;
-  return true;
+  return dispatched_kernel().all_zero(b.data(), b.size());
 }
 
 }  // namespace aec

@@ -1,20 +1,25 @@
 // Word-wide XOR primitives — the only arithmetic the AE codec needs
 // (paper: "the encoder and decoder are lightweight—essentially based on
 // exclusive-or operations").
+//
+// Three kernel variants (scalar / SSE2 / AVX2) are compiled into every
+// binary via per-function target attributes and picked once per process
+// by common/cpu.h's runtime dispatch (AEC_KERNEL overridable). All
+// variants accept unaligned buffers, any size, and dst == src full
+// aliasing; partial overlap is unsupported.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/bytes.h"
+#include "common/cpu.h"
 
 namespace aec {
 
 /// dst ^= src, element-wise. Both spans must have the same size.
-/// Works on unaligned buffers; processes 32 bytes (4×64-bit words) per
-/// main-loop step with an 8-byte loop and byte-wise tail fallback (the
-/// compiler auto-vectorizes the word loops to SSE/AVX where available).
 void xor_into(std::span<std::uint8_t> dst, BytesView src);
 
 /// Returns a ^ b as a fresh buffer. Sizes must match.
@@ -22,5 +27,21 @@ Bytes xor_blocks(BytesView a, BytesView b);
 
 /// True iff every byte of `b` is zero.
 bool all_zero(BytesView b) noexcept;
+
+/// One XOR kernel variant, exposed so the conformance suite and
+/// bench_codec_micro can drive every CPU-supported variant directly
+/// (production code always goes through the dispatched entry points
+/// above).
+struct XorKernel {
+  KernelTier tier;
+  const char* name;
+  void (*xor_into)(std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t n);
+  bool (*all_zero)(const std::uint8_t* p, std::size_t n);
+};
+
+/// The variants this CPU can execute, ascending by tier; [0] is always
+/// the scalar reference.
+std::vector<XorKernel> available_xor_kernels();
 
 }  // namespace aec

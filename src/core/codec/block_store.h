@@ -94,6 +94,12 @@ class BlockStore {
   /// calls this between windows.
   virtual void drop_payload_cache() const {}
 
+  /// Blocks until buffered mutations reach the store's backing medium so
+  /// an independent open of the same root sees them (write-behind stores
+  /// drain their queues; everything else is already authoritative). Not a
+  /// durability barrier — no fsync implied. No-op by default.
+  virtual void flush() const {}
+
   /// Visits every stored key (presence only, no payload I/O) and returns
   /// true; returns false without calling `fn` when the store cannot
   /// enumerate its keys. The callback must not mutate the store;

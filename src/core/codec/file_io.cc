@@ -35,4 +35,34 @@ std::optional<Bytes> read_block_file(const std::filesystem::path& path) {
   return out;
 }
 
+bool write_block_file(const std::filesystem::path& path,
+                      BytesView payload) noexcept {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return false;
+  std::size_t put = 0;
+  while (put < payload.size()) {
+    ssize_t n = ::write(fd, payload.data() + put, payload.size() - put);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    put += static_cast<std::size_t>(n);
+  }
+  return ::close(fd) == 0;
+}
+
+void sync_filesystem(const std::filesystem::path& dir) noexcept {
+#if defined(__linux__)
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::syncfs(fd);
+    ::close(fd);
+    return;
+  }
+#endif
+  ::sync();
+}
+
 }  // namespace aec

@@ -20,4 +20,17 @@ namespace aec {
 /// same "treat as absent" semantics the stream-based readers use.
 std::optional<Bytes> read_block_file(const std::filesystem::path& path);
 
+/// Writes (create-or-truncate) a whole block file with raw POSIX I/O.
+/// No fsync — durability barriers are the store's job (see
+/// sync_filesystem). Returns false on any open/write failure.
+bool write_block_file(const std::filesystem::path& path,
+                      BytesView payload) noexcept;
+
+/// Flushes the filesystem containing `dir` (Linux syncfs). One call
+/// per close barrier costs about as much as a single fdatasync, versus
+/// one fdatasync *per block file*, which is why the write-behind store
+/// syncs the filesystem once at shutdown instead of each file as it
+/// lands. Falls back to sync() where syncfs is unavailable.
+void sync_filesystem(const std::filesystem::path& dir) noexcept;
+
 }  // namespace aec

@@ -1,8 +1,13 @@
 #include "core/codec/sharded_file_block_store.h"
 
+#include <condition_variable>
+#include <deque>
 #include <fstream>
 #include <mutex>
+#include <optional>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 #include "core/codec/file_io.h"
@@ -17,6 +22,16 @@ struct ShardedFileBlockStore::Shard {
   fs::path dir;
   std::unordered_map<BlockKey, bool, BlockKeyHash> index;
   mutable std::unordered_map<BlockKey, Bytes, BlockKeyHash> cache;
+
+  // Write-behind state, all guarded by mu. FIFO order per shard keeps
+  // same-key overwrites last-write-wins on disk.
+  std::deque<std::pair<BlockKey, Bytes>> wb_queue;
+  /// Key whose file write the flusher currently holds outside the lock;
+  /// erase() must wait it out before removing the file.
+  std::optional<BlockKey> wb_in_flight;
+  bool wb_stop = false;
+  std::condition_variable wb_cv;
+  std::thread flusher;
 };
 
 namespace {
@@ -39,8 +54,10 @@ std::size_t pinned_shard_count(const fs::path& root, std::size_t requested) {
 }  // namespace
 
 ShardedFileBlockStore::ShardedFileBlockStore(fs::path root,
-                                             std::size_t shards)
+                                             std::size_t shards,
+                                             bool write_behind)
     : root_(std::move(root)),
+      write_behind_(write_behind),
       cache_hits_(
           obs::MetricsRegistry::global().counter("store.sharded.cache_hits")),
       cache_misses_(obs::MetricsRegistry::global().counter(
@@ -48,7 +65,11 @@ ShardedFileBlockStore::ShardedFileBlockStore(fs::path root,
       get_batch_blocks_(obs::MetricsRegistry::global().histogram(
           "store.sharded.get_batch_blocks", obs::Histogram::size_bounds())),
       put_batch_blocks_(obs::MetricsRegistry::global().histogram(
-          "store.sharded.put_batch_blocks", obs::Histogram::size_bounds())) {
+          "store.sharded.put_batch_blocks", obs::Histogram::size_bounds())),
+      wb_queue_blocks_(obs::MetricsRegistry::global().gauge(
+          "store.sharded.wb_queue_blocks")),
+      wb_flushed_blocks_(obs::MetricsRegistry::global().counter(
+          "store.sharded.wb_flushed_blocks")) {
   AEC_CHECK_MSG(shards >= 1, "sharded store needs at least one shard");
   fs::create_directories(root_);
   const std::size_t count = pinned_shard_count(root_, shards);
@@ -62,9 +83,73 @@ ShardedFileBlockStore::ShardedFileBlockStore(fs::path root,
     shards_.push_back(std::move(shard));
   }
   rescan();
+  if (write_behind_)
+    for (auto& shard : shards_)
+      shard->flusher =
+          std::thread([this, s = shard.get()] { flusher_main(*s); });
 }
 
-ShardedFileBlockStore::~ShardedFileBlockStore() = default;
+ShardedFileBlockStore::~ShardedFileBlockStore() {
+  if (!write_behind_) return;
+  for (const auto& shard : shards_) {
+    {
+      std::lock_guard lock(shard->mu);
+      shard->wb_stop = true;
+    }
+    shard->wb_cv.notify_all();
+  }
+  for (const auto& shard : shards_)
+    if (shard->flusher.joinable()) shard->flusher.join();
+  // Durability barrier: the flushers have drained but never fsync'd;
+  // one filesystem-wide flush here replaces a per-file fdatasync.
+  sync_filesystem(root_);
+}
+
+void ShardedFileBlockStore::flusher_main(Shard& shard) {
+  std::unique_lock lock(shard.mu);
+  for (;;) {
+    shard.wb_cv.wait(
+        lock, [&] { return shard.wb_stop || !shard.wb_queue.empty(); });
+    if (shard.wb_queue.empty()) return;  // only when wb_stop: full drain
+    auto [key, payload] = std::move(shard.wb_queue.front());
+    shard.wb_queue.pop_front();
+    shard.wb_in_flight = key;
+    lock.unlock();
+    const bool ok = write_block_file(path_of(key), payload);
+    if (ok)
+      wb_flushed_blocks_->add();
+    else
+      wb_failed_.store(true, std::memory_order_relaxed);
+    lock.lock();
+    shard.wb_in_flight.reset();
+    wb_queue_blocks_->add(-1);
+    shard.wb_cv.notify_all();
+  }
+}
+
+void ShardedFileBlockStore::drain_locked(
+    Shard& shard, std::unique_lock<std::mutex>& lock) const {
+  shard.wb_cv.wait(lock, [&] {
+    return shard.wb_queue.empty() && !shard.wb_in_flight.has_value();
+  });
+}
+
+void ShardedFileBlockStore::check_wb_healthy() const {
+  AEC_CHECK_MSG(!wb_failed_.load(std::memory_order_relaxed),
+                "sharded store: write-behind flusher failed writing a "
+                "block under "
+                    << root_.string());
+}
+
+void ShardedFileBlockStore::flush_writes() const {
+  if (!write_behind_) return;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock lock(shard.mu);
+    drain_locked(shard, lock);
+  }
+  check_wb_healthy();
+}
 
 std::size_t ShardedFileBlockStore::shard_index(
     const BlockKey& key) const noexcept {
@@ -85,7 +170,10 @@ fs::path ShardedFileBlockStore::path_of(const BlockKey& key) const {
 void ShardedFileBlockStore::rescan() {
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard lock(shard.mu);
+    std::unique_lock lock(shard.mu);
+    // Queued writes must land before the directory walk or the rebuilt
+    // index would miss them.
+    if (write_behind_) drain_locked(shard, lock);
     shard.index.clear();
     shard.cache.clear();
     const auto scan_dir = [&](const fs::path& dir, BlockKey::Kind kind,
@@ -121,15 +209,28 @@ bool ShardedFileBlockStore::for_each_key(
   return true;
 }
 
-void ShardedFileBlockStore::put_locked(Shard& shard, const BlockKey& key,
-                                       Bytes value) {
-  const fs::path path = path_of(key);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  AEC_CHECK_MSG(out.good(), "cannot write " << path.string());
-  out.write(reinterpret_cast<const char*>(value.data()),
-            static_cast<std::streamsize>(value.size()));
-  out.close();
-  AEC_CHECK_MSG(out.good(), "short write to " << path.string());
+void ShardedFileBlockStore::put_locked(Shard& shard,
+                                       std::unique_lock<std::mutex>& lock,
+                                       const BlockKey& key, Bytes value) {
+  if (write_behind_) {
+    check_wb_healthy();
+    // Backpressure: block the producer (lock released while waiting)
+    // until the flusher drains below the per-shard bound.
+    shard.wb_cv.wait(lock, [&] {
+      return shard.wb_queue.size() < kMaxQueuedBlocksPerShard;
+    });
+    shard.wb_queue.emplace_back(key, value);  // copy; cache keeps the move
+    wb_queue_blocks_->add(1);
+    shard.wb_cv.notify_all();
+  } else {
+    const fs::path path = path_of(key);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    AEC_CHECK_MSG(out.good(), "cannot write " << path.string());
+    out.write(reinterpret_cast<const char*>(value.data()),
+              static_cast<std::streamsize>(value.size()));
+    out.close();
+    AEC_CHECK_MSG(out.good(), "short write to " << path.string());
+  }
   shard.index[key] = true;
   shard.cache[key] = std::move(value);
   notify(key, true);
@@ -137,8 +238,8 @@ void ShardedFileBlockStore::put_locked(Shard& shard, const BlockKey& key,
 
 void ShardedFileBlockStore::put(const BlockKey& key, Bytes value) {
   Shard& shard = shard_of(key);
-  std::lock_guard lock(shard.mu);
-  put_locked(shard, key, std::move(value));
+  std::unique_lock lock(shard.mu);
+  put_locked(shard, lock, key, std::move(value));
 }
 
 void ShardedFileBlockStore::put_batch(
@@ -152,9 +253,9 @@ void ShardedFileBlockStore::put_batch(
   for (std::size_t k = 0; k < buckets.size(); ++k) {
     if (buckets[k].empty()) continue;
     Shard& shard = *shards_[k];
-    std::lock_guard lock(shard.mu);
+    std::unique_lock lock(shard.mu);
     for (const std::size_t j : buckets[k])
-      put_locked(shard, items[j].first, std::move(items[j].second));
+      put_locked(shard, lock, items[j].first, std::move(items[j].second));
   }
 }
 
@@ -193,7 +294,20 @@ bool ShardedFileBlockStore::contains(const BlockKey& key) const {
 
 bool ShardedFileBlockStore::erase(const BlockKey& key) {
   Shard& shard = shard_of(key);
-  std::lock_guard lock(shard.mu);
+  std::unique_lock lock(shard.mu);
+  if (write_behind_) {
+    // Purge queued writes of this key and wait out an in-flight one so
+    // the flusher cannot recreate the file after the remove below.
+    for (auto it = shard.wb_queue.begin(); it != shard.wb_queue.end();) {
+      if (it->first == key) {
+        it = shard.wb_queue.erase(it);
+        wb_queue_blocks_->add(-1);
+      } else {
+        ++it;
+      }
+    }
+    shard.wb_cv.wait(lock, [&] { return shard.wb_in_flight != key; });
+  }
   shard.cache.erase(key);
   if (shard.index.erase(key) == 0) return false;
   std::error_code ec;
@@ -263,10 +377,15 @@ void ShardedFileBlockStore::prefetch(
 }
 
 void ShardedFileBlockStore::drop_payload_cache() const {
-  for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
-    shard->cache.clear();
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock lock(shard.mu);
+    // Unflushed blocks live only in the cache (files not written yet);
+    // drain before dropping so readers fall through to complete files.
+    if (write_behind_) drain_locked(shard, lock);
+    shard.cache.clear();
   }
+  if (write_behind_) check_wb_healthy();
 }
 
 }  // namespace aec

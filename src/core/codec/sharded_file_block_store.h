@@ -17,10 +17,25 @@
 // matches anyway). Like FileBlockStore, the per-shard index is built at
 // open and payloads are read lazily and cached until the key mutates or
 // drop_payload_cache() runs.
+//
+// Write-behind (default on; sharded(N,sync) disables): put/put_batch
+// update the shard's index and payload cache immediately and enqueue the
+// file write on a bounded per-shard queue drained by that shard's flusher
+// thread, so ingest callers pay a memcpy instead of an ofstream
+// open/write/close per block. Consistency is preserved by the invariant
+// "unflushed block ⊆ payload cache": readers hit the cache before any
+// file probe, and every operation that drops or bypasses the cache
+// (drop_payload_cache, rescan, erase, destruction) first drains the
+// queue. The destructor also ends with one syncfs barrier over the
+// archive's filesystem — same durability point a caller previously got
+// from per-put ofstreams (which never fsync'd either), at a fraction of
+// the cost of per-file fdatasync.
 #pragma once
 
+#include <atomic>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/codec/block_store.h"
@@ -31,12 +46,18 @@ namespace aec {
 class ShardedFileBlockStore final : public BlockStore {
  public:
   static constexpr std::size_t kDefaultShards = 16;
+  /// Per-shard write-behind bound, in blocks. At 4 KiB blocks this caps
+  /// buffered-but-unflushed data at 1 MiB per shard; producers that
+  /// outrun the flusher block on put until it drains below the bound.
+  static constexpr std::size_t kMaxQueuedBlocksPerShard = 256;
 
   /// Opens (creating directories if needed) an archive rooted at `root`
   /// with `shards` directory shards. An existing root keeps the shard
-  /// count it was created with.
+  /// count it was created with. `write_behind` selects queued flusher
+  /// writes (default) vs. synchronous in-lock writes.
   explicit ShardedFileBlockStore(std::filesystem::path root,
-                                 std::size_t shards = kDefaultShards);
+                                 std::size_t shards = kDefaultShards,
+                                 bool write_behind = true);
   ~ShardedFileBlockStore() override;
 
   void put(const BlockKey& key, Bytes value) override;
@@ -58,6 +79,13 @@ class ShardedFileBlockStore final : public BlockStore {
 
   const std::filesystem::path& root() const noexcept { return root_; }
   std::size_t shard_count() const noexcept { return shards_.size(); }
+  bool write_behind() const noexcept { return write_behind_; }
+
+  /// Blocks until every queued write has reached its file (no durability
+  /// barrier; see the destructor for the syncfs point). No-op in sync
+  /// mode. Throws CheckError if any flusher write has failed.
+  void flush_writes() const;
+  void flush() const override { flush_writes(); }
 
   /// Re-scans every shard's directory tree (picks up external
   /// additions/removals). The observer is not notified of the diff;
@@ -80,12 +108,25 @@ class ShardedFileBlockStore final : public BlockStore {
   /// Resolves one key inside `shard` (cache or disk); caller holds the
   /// shard lock. Returns nullptr when missing or unreadable.
   const Bytes* resolve_locked(Shard& shard, const BlockKey& key) const;
-  /// Writes one block's file and updates the shard's index/cache; caller
-  /// holds the shard lock.
-  void put_locked(Shard& shard, const BlockKey& key, Bytes value);
+  /// Applies one put inside `shard` — synchronous file write in sync
+  /// mode, enqueue (with backpressure wait on `lock`) in write-behind
+  /// mode — and updates the shard's index/cache.
+  void put_locked(Shard& shard, std::unique_lock<std::mutex>& lock,
+                  const BlockKey& key, Bytes value);
+  /// Waits (on `lock`) until `shard` has no queued or in-flight write.
+  void drain_locked(Shard& shard, std::unique_lock<std::mutex>& lock) const;
+  /// Per-shard flusher thread body (write-behind mode only).
+  void flusher_main(Shard& shard);
+  /// Throws CheckError if a flusher write has failed.
+  void check_wb_healthy() const;
 
   std::filesystem::path root_;
+  bool write_behind_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Set by a flusher on its first failed write; surfaced as CheckError
+  /// at the next mutation / flush / close instead of crashing the
+  /// flusher thread.
+  mutable std::atomic<bool> wb_failed_{false};
   /// Global-registry metrics, resolved once at construction. Hit/miss
   /// tallies are per present-key payload resolution (cache vs disk);
   /// batch histograms record request sizes in blocks.
@@ -93,6 +134,10 @@ class ShardedFileBlockStore final : public BlockStore {
   obs::Counter* cache_misses_;
   obs::Histogram* get_batch_blocks_;
   obs::Histogram* put_batch_blocks_;
+  /// Write-behind: current queued-but-unflushed blocks across shards,
+  /// and total blocks the flushers have written.
+  obs::Gauge* wb_queue_blocks_;
+  obs::Counter* wb_flushed_blocks_;
 };
 
 }  // namespace aec

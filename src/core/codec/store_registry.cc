@@ -104,15 +104,23 @@ StoreRegistry::StoreRegistry() {
       "sharded",
       [](const StoreSpec& spec,
          const std::filesystem::path& root) -> std::unique_ptr<BlockStore> {
-        AEC_CHECK_MSG(spec.args.size() <= 1,
-                      "sharded store wants sharded or sharded(N)");
+        AEC_CHECK_MSG(spec.args.size() <= 2,
+                      "sharded store wants sharded, sharded(N) or "
+                      "sharded(N,wb|sync)");
         const std::uint64_t shards =
             spec.args.empty() ? ShardedFileBlockStore::kDefaultShards
                               : store_spec_uint(spec, 0);
         AEC_CHECK_MSG(shards >= 1 && shards <= 4096,
                       "sharded store wants 1..4096 shards, got " << shards);
+        bool write_behind = true;
+        if (spec.args.size() == 2) {
+          AEC_CHECK_MSG(spec.args[1] == "wb" || spec.args[1] == "sync",
+                        "sharded store mode must be wb or sync, got '"
+                            << spec.args[1] << "'");
+          write_behind = spec.args[1] == "wb";
+        }
         return std::make_unique<ShardedFileBlockStore>(
-            root, static_cast<std::size_t>(shards));
+            root, static_cast<std::size_t>(shards), write_behind);
       });
   register_family(
       "cluster",

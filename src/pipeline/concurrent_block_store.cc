@@ -157,6 +157,11 @@ void LockedBlockStore::drop_payload_cache() const {
   delegate_->drop_payload_cache();
 }
 
+void LockedBlockStore::flush() const {
+  std::lock_guard lock(mu_);
+  delegate_->flush();
+}
+
 bool LockedBlockStore::for_each_key(
     const std::function<void(const BlockKey&)>& fn) const {
   std::lock_guard lock(mu_);

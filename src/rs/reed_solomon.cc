@@ -32,9 +32,13 @@ std::vector<Bytes> ReedSolomon::encode(
 
   std::vector<Bytes> parities(m_, Bytes(block_size, 0));
   for (std::uint32_t row = 0; row < m_; ++row) {
-    for (std::uint32_t col = 0; col < k_; ++col) {
-      gf::mul_acc(parities[row].data(), data[col].data(), block_size,
-                  parity_rows_.at(row, col));
+    // First column overwrites (mul_slice skips reading the zeroed
+    // parity buffer); the rest accumulate.
+    gf::mul_slice(parities[row].data(), data[0].data(), block_size,
+                  parity_rows_.at(row, 0));
+    for (std::uint32_t col = 1; col < k_; ++col) {
+      gf::axpy_slice(parities[row].data(), data[col].data(), block_size,
+                     parity_rows_.at(row, col));
     }
   }
   return parities;
@@ -83,9 +87,11 @@ std::optional<std::vector<Bytes>> ReedSolomon::decode(
 
   std::vector<Bytes> data(k_, Bytes(block_size, 0));
   for (std::uint32_t out = 0; out < k_; ++out) {
-    for (std::uint32_t in = 0; in < k_; ++in) {
-      gf::mul_acc(data[out].data(), stripe[chosen[in]]->data(), block_size,
-                  inverse->at(out, in));
+    gf::mul_slice(data[out].data(), stripe[chosen[0]]->data(), block_size,
+                  inverse->at(out, 0));
+    for (std::uint32_t in = 1; in < k_; ++in) {
+      gf::axpy_slice(data[out].data(), stripe[chosen[in]]->data(),
+                     block_size, inverse->at(out, in));
     }
   }
   return data;

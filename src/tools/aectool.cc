@@ -47,6 +47,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/cpu.h"
 #include "core/codec/store_registry.h"
 #include "obs/trace.h"
 #include "tools/archive.h"
@@ -339,6 +340,7 @@ int run(const Args& args) {
     std::printf("codec       : %s\n", archive->codec().id().c_str());
     std::printf("store       : %s\n", archive->store_spec().c_str());
     std::printf("block size  : %zu\n", archive->block_size());
+    std::printf("kernel      : %s\n", aec::selected_kernel_name());
     std::printf("data blocks : %llu\n",
                 static_cast<unsigned long long>(archive->blocks()));
     std::printf("files       : %zu\n", archive->files().size());

@@ -7,7 +7,9 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/cpu.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "core/codec/store_registry.h"
 #include "core/util/tagged_file.h"
 
@@ -513,6 +515,9 @@ ScrubReport Archive::scrub() {
   const IntegrityReport integrity = session_->verify_integrity();
   report.inconsistent_parities = integrity.inconsistent_parities;
   report.suspect_nodes = integrity.suspect_nodes;
+  // Repaired blocks may still sit in a write-behind queue; land them so
+  // a scrub that reports success has its repairs on the backing medium.
+  store_->flush();
   return report;
 }
 
@@ -586,6 +591,11 @@ std::string Archive::stat_json(bool include_metrics) const {
   out += ",\"codec\":\"" + json_escape(codec_->id()) + "\"";
   out += ",\"store\":\"" + json_escape(store_spec_) + "\"";
   out += ",\"block_size\":" + std::to_string(block_size_);
+  out += ",\"kernel\":\"" + json_escape(selected_kernel_name()) + "\"";
+  out += ",\"write_behind_queue_blocks\":" +
+         std::to_string(obs::MetricsRegistry::global()
+                            .gauge("store.sharded.wb_queue_blocks")
+                            ->value());
   out += ",\"data_blocks\":" + std::to_string(blocks());
   out += ",\"files\":" + std::to_string(files_.size());
   out += ",\"availability\":[";

@@ -90,7 +90,10 @@ TEST_F(ShardedFileBlockStoreTest, ByteIdentityVsFileBlockStore) {
   };
   compare_all(flat, sharded);
 
-  // Reopen both (fresh index scan) and compare again.
+  // Reopen both (fresh index scan) and compare again. The first sharded
+  // store is still open, so its write-behind queue must land before a
+  // second open's directory walk can see every block.
+  sharded.flush_writes();
   FileBlockStore flat2(dir("flat"));
   ShardedFileBlockStore sharded2(dir("sharded"), 4);
   ASSERT_EQ(flat2.size(), sharded2.size());
@@ -221,6 +224,96 @@ TEST_F(ShardedFileBlockStoreTest, RegistryBuildsEveryFamily) {
   EXPECT_THROW(make_store("", dir("t")), CheckError);
 }
 
+// --- write-behind -----------------------------------------------------------
+
+TEST_F(ShardedFileBlockStoreTest, WriteBehindReadsYourWrites) {
+  // Puts are visible to every read path immediately, before any flush:
+  // unflushed blocks live in the payload cache, which all reads consult
+  // before touching files.
+  ShardedFileBlockStore store(dir("s"), 2);
+  ASSERT_TRUE(store.write_behind());
+  for (NodeIndex i = 1; i <= 40; ++i)
+    store.put(BlockKey::data(i), Bytes{static_cast<std::uint8_t>(i)});
+  EXPECT_EQ(store.size(), 40u);
+  for (NodeIndex i = 1; i <= 40; ++i) {
+    EXPECT_EQ(store.get_copy(BlockKey::data(i)),
+              Bytes{static_cast<std::uint8_t>(i)});
+  }
+  const auto payloads = store.get_batch({BlockKey::data(7)});
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], Bytes{7});
+}
+
+TEST_F(ShardedFileBlockStoreTest, FlushWritesLandsQueuedFiles) {
+  ShardedFileBlockStore store(dir("s"), 4);
+  for (NodeIndex i = 1; i <= 64; ++i)
+    store.put(BlockKey::data(i), Bytes{static_cast<std::uint8_t>(i), 9});
+  store.flush_writes();
+  for (NodeIndex i = 1; i <= 64; ++i)
+    EXPECT_TRUE(fs::exists(store.path_of(BlockKey::data(i)))) << i;
+  // An independent open scans complete files.
+  ShardedFileBlockStore reader(dir("s"), 4);
+  EXPECT_EQ(reader.size(), 64u);
+  EXPECT_EQ(reader.get_copy(BlockKey::data(33)), (Bytes{33, 9}));
+}
+
+TEST_F(ShardedFileBlockStoreTest, DestructorDrainsTheQueue) {
+  {
+    ShardedFileBlockStore store(dir("s"), 2);
+    for (NodeIndex i = 1; i <= 50; ++i)
+      store.put(BlockKey::data(i), Bytes{static_cast<std::uint8_t>(i)});
+  }  // no explicit flush
+  ShardedFileBlockStore reopened(dir("s"), 2);
+  EXPECT_EQ(reopened.size(), 50u);
+  EXPECT_EQ(reopened.get_copy(BlockKey::data(50)), Bytes{50});
+}
+
+TEST_F(ShardedFileBlockStoreTest, EraseCancelsQueuedWrites) {
+  // erase purges the key's queued writes (and waits out an in-flight
+  // one), so the flusher can never resurrect an erased block's file.
+  ShardedFileBlockStore store(dir("s"), 1);
+  for (int round = 0; round < 200; ++round) {
+    const BlockKey key = BlockKey::data(1 + (round % 5));
+    store.put(key, Bytes{1, 2, 3});
+    EXPECT_TRUE(store.erase(key));
+    EXPECT_FALSE(store.contains(key));
+  }
+  store.flush_writes();
+  for (NodeIndex i = 1; i <= 5; ++i) {
+    EXPECT_FALSE(store.contains(BlockKey::data(i)));
+    EXPECT_FALSE(fs::exists(store.path_of(BlockKey::data(i)))) << i;
+  }
+}
+
+TEST_F(ShardedFileBlockStoreTest, DropPayloadCacheDrainsFirst) {
+  // Dropping the cache in write-behind mode must not lose unflushed
+  // blocks: the drain runs first, so post-drop reads resolve from
+  // complete files.
+  ShardedFileBlockStore store(dir("s"), 2);
+  store.put(BlockKey::data(3), Bytes{4, 5, 6});
+  store.drop_payload_cache();
+  EXPECT_TRUE(fs::exists(store.path_of(BlockKey::data(3))));
+  EXPECT_EQ(store.get_copy(BlockKey::data(3)), (Bytes{4, 5, 6}));
+}
+
+TEST_F(ShardedFileBlockStoreTest, SyncModeWritesInline) {
+  ShardedFileBlockStore store(dir("s"), 2, /*write_behind=*/false);
+  EXPECT_FALSE(store.write_behind());
+  store.put(BlockKey::data(1), Bytes{8});
+  EXPECT_TRUE(fs::exists(store.path_of(BlockKey::data(1))));
+  store.flush_writes();  // no-op, must not hang
+}
+
+TEST_F(ShardedFileBlockStoreTest, RegistryParsesWriteBehindMode) {
+  auto wb = make_store("sharded(2,wb)", dir("wb"));
+  EXPECT_TRUE(
+      dynamic_cast<ShardedFileBlockStore*>(wb.get())->write_behind());
+  auto sync = make_store("sharded(2,sync)", dir("sync"));
+  EXPECT_FALSE(
+      dynamic_cast<ShardedFileBlockStore*>(sync.get())->write_behind());
+  EXPECT_THROW(make_store("sharded(2,later)", dir("t")), CheckError);
+}
+
 // --- concurrency (runs under the TSan CI job) -------------------------------
 
 TEST_F(ShardedFileBlockStoreTest, ConcurrentMixedAccessIsSafe) {
@@ -265,6 +358,50 @@ TEST_F(ShardedFileBlockStoreTest, ConcurrentMixedAccessIsSafe) {
   }
   for (std::thread& t : threads) t.join();
 
+  for (NodeIndex i = 1; i <= kKeys; ++i) {
+    const auto value = store.get_copy(BlockKey::data(i));
+    if (value) {
+      EXPECT_EQ(*value, payload_of(i));
+    }
+  }
+}
+
+TEST_F(ShardedFileBlockStoreTest, ConcurrentWriteBehindBarriersAreSafe) {
+  // Producers racing the drain barriers: put_batch bursts (deep enough
+  // to trip the per-shard backpressure bound on a 1-shard store) against
+  // concurrent flush_writes/drop_payload_cache/erase callers.
+  ShardedFileBlockStore store(dir("s"), 1);
+  constexpr NodeIndex kKeys = 64;
+  const auto payload_of = [](NodeIndex i) {
+    return Bytes{static_cast<std::uint8_t>(i), 11};
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 12; ++round) {
+        std::vector<std::pair<BlockKey, Bytes>> batch;
+        for (NodeIndex i = 1; i <= kKeys; ++i)
+          batch.emplace_back(BlockKey::data(i), payload_of(i));
+        store.put_batch(std::move(batch));
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int round = 0; round < 20; ++round) {
+      store.flush_writes();
+      store.drop_payload_cache();
+    }
+  });
+  threads.emplace_back([&] {
+    for (int round = 0; round < 50; ++round) {
+      store.erase(BlockKey::data(1 + (round % kKeys)));
+      store.get_copy(BlockKey::data(1 + (round % kKeys)));
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  store.flush_writes();
   for (NodeIndex i = 1; i <= kKeys; ++i) {
     const auto value = store.get_copy(BlockKey::data(i));
     if (value) {
