@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/codec.cc" "CMakeFiles/aec.dir/src/api/codec.cc.o" "gcc" "CMakeFiles/aec.dir/src/api/codec.cc.o.d"
+  "/root/repo/src/api/engine.cc" "CMakeFiles/aec.dir/src/api/engine.cc.o" "gcc" "CMakeFiles/aec.dir/src/api/engine.cc.o.d"
+  "/root/repo/src/api/session.cc" "CMakeFiles/aec.dir/src/api/session.cc.o" "gcc" "CMakeFiles/aec.dir/src/api/session.cc.o.d"
+  "/root/repo/src/cluster/cluster_store.cc" "CMakeFiles/aec.dir/src/cluster/cluster_store.cc.o" "gcc" "CMakeFiles/aec.dir/src/cluster/cluster_store.cc.o.d"
+  "/root/repo/src/cluster/placement.cc" "CMakeFiles/aec.dir/src/cluster/placement.cc.o" "gcc" "CMakeFiles/aec.dir/src/cluster/placement.cc.o.d"
+  "/root/repo/src/common/cpu.cc" "CMakeFiles/aec.dir/src/common/cpu.cc.o" "gcc" "CMakeFiles/aec.dir/src/common/cpu.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/aec.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/aec.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/aec.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/aec.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/xor_engine.cc" "CMakeFiles/aec.dir/src/common/xor_engine.cc.o" "gcc" "CMakeFiles/aec.dir/src/common/xor_engine.cc.o.d"
+  "/root/repo/src/core/analysis/me_search.cc" "CMakeFiles/aec.dir/src/core/analysis/me_search.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/analysis/me_search.cc.o.d"
+  "/root/repo/src/core/analysis/repair_paths.cc" "CMakeFiles/aec.dir/src/core/analysis/repair_paths.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/analysis/repair_paths.cc.o.d"
+  "/root/repo/src/core/codec/availability_index.cc" "CMakeFiles/aec.dir/src/core/codec/availability_index.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/codec/availability_index.cc.o.d"
+  "/root/repo/src/core/codec/block_store.cc" "CMakeFiles/aec.dir/src/core/codec/block_store.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/codec/block_store.cc.o.d"
+  "/root/repo/src/core/codec/decoder.cc" "CMakeFiles/aec.dir/src/core/codec/decoder.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/codec/decoder.cc.o.d"
+  "/root/repo/src/core/codec/encoder.cc" "CMakeFiles/aec.dir/src/core/codec/encoder.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/codec/encoder.cc.o.d"
+  "/root/repo/src/core/codec/file_block_store.cc" "CMakeFiles/aec.dir/src/core/codec/file_block_store.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/codec/file_block_store.cc.o.d"
+  "/root/repo/src/core/codec/file_io.cc" "CMakeFiles/aec.dir/src/core/codec/file_io.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/codec/file_io.cc.o.d"
+  "/root/repo/src/core/codec/puncture.cc" "CMakeFiles/aec.dir/src/core/codec/puncture.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/codec/puncture.cc.o.d"
+  "/root/repo/src/core/codec/repair_planner.cc" "CMakeFiles/aec.dir/src/core/codec/repair_planner.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/codec/repair_planner.cc.o.d"
+  "/root/repo/src/core/codec/sharded_file_block_store.cc" "CMakeFiles/aec.dir/src/core/codec/sharded_file_block_store.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/codec/sharded_file_block_store.cc.o.d"
+  "/root/repo/src/core/codec/store_registry.cc" "CMakeFiles/aec.dir/src/core/codec/store_registry.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/codec/store_registry.cc.o.d"
+  "/root/repo/src/core/codec/tamper.cc" "CMakeFiles/aec.dir/src/core/codec/tamper.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/codec/tamper.cc.o.d"
+  "/root/repo/src/core/codec/write_planner.cc" "CMakeFiles/aec.dir/src/core/codec/write_planner.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/codec/write_planner.cc.o.d"
+  "/root/repo/src/core/lattice/code_params.cc" "CMakeFiles/aec.dir/src/core/lattice/code_params.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/lattice/code_params.cc.o.d"
+  "/root/repo/src/core/lattice/lattice.cc" "CMakeFiles/aec.dir/src/core/lattice/lattice.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/lattice/lattice.cc.o.d"
+  "/root/repo/src/core/lattice/multi_pitch.cc" "CMakeFiles/aec.dir/src/core/lattice/multi_pitch.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/lattice/multi_pitch.cc.o.d"
+  "/root/repo/src/core/util/tagged_file.cc" "CMakeFiles/aec.dir/src/core/util/tagged_file.cc.o" "gcc" "CMakeFiles/aec.dir/src/core/util/tagged_file.cc.o.d"
+  "/root/repo/src/gf/gf256.cc" "CMakeFiles/aec.dir/src/gf/gf256.cc.o" "gcc" "CMakeFiles/aec.dir/src/gf/gf256.cc.o.d"
+  "/root/repo/src/gf/matrix.cc" "CMakeFiles/aec.dir/src/gf/matrix.cc.o" "gcc" "CMakeFiles/aec.dir/src/gf/matrix.cc.o.d"
+  "/root/repo/src/net/client.cc" "CMakeFiles/aec.dir/src/net/client.cc.o" "gcc" "CMakeFiles/aec.dir/src/net/client.cc.o.d"
+  "/root/repo/src/net/event_loop.cc" "CMakeFiles/aec.dir/src/net/event_loop.cc.o" "gcc" "CMakeFiles/aec.dir/src/net/event_loop.cc.o.d"
+  "/root/repo/src/net/protocol.cc" "CMakeFiles/aec.dir/src/net/protocol.cc.o" "gcc" "CMakeFiles/aec.dir/src/net/protocol.cc.o.d"
+  "/root/repo/src/net/server.cc" "CMakeFiles/aec.dir/src/net/server.cc.o" "gcc" "CMakeFiles/aec.dir/src/net/server.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "CMakeFiles/aec.dir/src/obs/metrics.cc.o" "gcc" "CMakeFiles/aec.dir/src/obs/metrics.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "CMakeFiles/aec.dir/src/obs/trace.cc.o" "gcc" "CMakeFiles/aec.dir/src/obs/trace.cc.o.d"
+  "/root/repo/src/pipeline/block_fetcher.cc" "CMakeFiles/aec.dir/src/pipeline/block_fetcher.cc.o" "gcc" "CMakeFiles/aec.dir/src/pipeline/block_fetcher.cc.o.d"
+  "/root/repo/src/pipeline/concurrent_block_store.cc" "CMakeFiles/aec.dir/src/pipeline/concurrent_block_store.cc.o" "gcc" "CMakeFiles/aec.dir/src/pipeline/concurrent_block_store.cc.o.d"
+  "/root/repo/src/pipeline/parallel_encoder.cc" "CMakeFiles/aec.dir/src/pipeline/parallel_encoder.cc.o" "gcc" "CMakeFiles/aec.dir/src/pipeline/parallel_encoder.cc.o.d"
+  "/root/repo/src/pipeline/parallel_repairer.cc" "CMakeFiles/aec.dir/src/pipeline/parallel_repairer.cc.o" "gcc" "CMakeFiles/aec.dir/src/pipeline/parallel_repairer.cc.o.d"
+  "/root/repo/src/pipeline/thread_pool.cc" "CMakeFiles/aec.dir/src/pipeline/thread_pool.cc.o" "gcc" "CMakeFiles/aec.dir/src/pipeline/thread_pool.cc.o.d"
+  "/root/repo/src/replication/replication.cc" "CMakeFiles/aec.dir/src/replication/replication.cc.o" "gcc" "CMakeFiles/aec.dir/src/replication/replication.cc.o.d"
+  "/root/repo/src/rs/reed_solomon.cc" "CMakeFiles/aec.dir/src/rs/reed_solomon.cc.o" "gcc" "CMakeFiles/aec.dir/src/rs/reed_solomon.cc.o.d"
+  "/root/repo/src/sim/ae_system.cc" "CMakeFiles/aec.dir/src/sim/ae_system.cc.o" "gcc" "CMakeFiles/aec.dir/src/sim/ae_system.cc.o.d"
+  "/root/repo/src/sim/placement.cc" "CMakeFiles/aec.dir/src/sim/placement.cc.o" "gcc" "CMakeFiles/aec.dir/src/sim/placement.cc.o.d"
+  "/root/repo/src/sim/replication_system.cc" "CMakeFiles/aec.dir/src/sim/replication_system.cc.o" "gcc" "CMakeFiles/aec.dir/src/sim/replication_system.cc.o.d"
+  "/root/repo/src/sim/rs_system.cc" "CMakeFiles/aec.dir/src/sim/rs_system.cc.o" "gcc" "CMakeFiles/aec.dir/src/sim/rs_system.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "CMakeFiles/aec.dir/src/sim/runner.cc.o" "gcc" "CMakeFiles/aec.dir/src/sim/runner.cc.o.d"
+  "/root/repo/src/sim/schemes.cc" "CMakeFiles/aec.dir/src/sim/schemes.cc.o" "gcc" "CMakeFiles/aec.dir/src/sim/schemes.cc.o.d"
+  "/root/repo/src/store/entangled_mirror.cc" "CMakeFiles/aec.dir/src/store/entangled_mirror.cc.o" "gcc" "CMakeFiles/aec.dir/src/store/entangled_mirror.cc.o.d"
+  "/root/repo/src/store/geo_backup.cc" "CMakeFiles/aec.dir/src/store/geo_backup.cc.o" "gcc" "CMakeFiles/aec.dir/src/store/geo_backup.cc.o.d"
+  "/root/repo/src/store/raid_ae.cc" "CMakeFiles/aec.dir/src/store/raid_ae.cc.o" "gcc" "CMakeFiles/aec.dir/src/store/raid_ae.cc.o.d"
+  "/root/repo/src/tools/archive.cc" "CMakeFiles/aec.dir/src/tools/archive.cc.o" "gcc" "CMakeFiles/aec.dir/src/tools/archive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ae_system_test.cc" "CMakeFiles/aec_tests.dir/tests/ae_system_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/ae_system_test.cc.o.d"
+  "/root/repo/tests/api_codec_test.cc" "CMakeFiles/aec_tests.dir/tests/api_codec_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/api_codec_test.cc.o.d"
+  "/root/repo/tests/archive_sidecar_test.cc" "CMakeFiles/aec_tests.dir/tests/archive_sidecar_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/archive_sidecar_test.cc.o.d"
+  "/root/repo/tests/archive_stream_test.cc" "CMakeFiles/aec_tests.dir/tests/archive_stream_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/archive_stream_test.cc.o.d"
+  "/root/repo/tests/archive_test.cc" "CMakeFiles/aec_tests.dir/tests/archive_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/archive_test.cc.o.d"
+  "/root/repo/tests/availability_index_test.cc" "CMakeFiles/aec_tests.dir/tests/availability_index_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/availability_index_test.cc.o.d"
+  "/root/repo/tests/block_store_test.cc" "CMakeFiles/aec_tests.dir/tests/block_store_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/block_store_test.cc.o.d"
+  "/root/repo/tests/boundary_test.cc" "CMakeFiles/aec_tests.dir/tests/boundary_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/boundary_test.cc.o.d"
+  "/root/repo/tests/cluster_store_test.cc" "CMakeFiles/aec_tests.dir/tests/cluster_store_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/cluster_store_test.cc.o.d"
+  "/root/repo/tests/code_params_test.cc" "CMakeFiles/aec_tests.dir/tests/code_params_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/code_params_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "CMakeFiles/aec_tests.dir/tests/common_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/common_test.cc.o.d"
+  "/root/repo/tests/decoder_test.cc" "CMakeFiles/aec_tests.dir/tests/decoder_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/decoder_test.cc.o.d"
+  "/root/repo/tests/encoder_test.cc" "CMakeFiles/aec_tests.dir/tests/encoder_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/encoder_test.cc.o.d"
+  "/root/repo/tests/file_block_store_test.cc" "CMakeFiles/aec_tests.dir/tests/file_block_store_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/file_block_store_test.cc.o.d"
+  "/root/repo/tests/geo_backup_test.cc" "CMakeFiles/aec_tests.dir/tests/geo_backup_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/geo_backup_test.cc.o.d"
+  "/root/repo/tests/gf256_test.cc" "CMakeFiles/aec_tests.dir/tests/gf256_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/gf256_test.cc.o.d"
+  "/root/repo/tests/kernel_test.cc" "CMakeFiles/aec_tests.dir/tests/kernel_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/kernel_test.cc.o.d"
+  "/root/repo/tests/lattice_test.cc" "CMakeFiles/aec_tests.dir/tests/lattice_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/lattice_test.cc.o.d"
+  "/root/repo/tests/matrix_test.cc" "CMakeFiles/aec_tests.dir/tests/matrix_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/matrix_test.cc.o.d"
+  "/root/repo/tests/me_search_test.cc" "CMakeFiles/aec_tests.dir/tests/me_search_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/me_search_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "CMakeFiles/aec_tests.dir/tests/metrics_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/metrics_test.cc.o.d"
+  "/root/repo/tests/mirror_test.cc" "CMakeFiles/aec_tests.dir/tests/mirror_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/mirror_test.cc.o.d"
+  "/root/repo/tests/multi_pitch_test.cc" "CMakeFiles/aec_tests.dir/tests/multi_pitch_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/multi_pitch_test.cc.o.d"
+  "/root/repo/tests/net_protocol_test.cc" "CMakeFiles/aec_tests.dir/tests/net_protocol_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/net_protocol_test.cc.o.d"
+  "/root/repo/tests/net_server_test.cc" "CMakeFiles/aec_tests.dir/tests/net_server_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/net_server_test.cc.o.d"
+  "/root/repo/tests/parallel_repair_test.cc" "CMakeFiles/aec_tests.dir/tests/parallel_repair_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/parallel_repair_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "CMakeFiles/aec_tests.dir/tests/pipeline_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/pipeline_test.cc.o.d"
+  "/root/repo/tests/placement_test.cc" "CMakeFiles/aec_tests.dir/tests/placement_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/placement_test.cc.o.d"
+  "/root/repo/tests/puncture_test.cc" "CMakeFiles/aec_tests.dir/tests/puncture_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/puncture_test.cc.o.d"
+  "/root/repo/tests/raid_ae_test.cc" "CMakeFiles/aec_tests.dir/tests/raid_ae_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/raid_ae_test.cc.o.d"
+  "/root/repo/tests/read_path_test.cc" "CMakeFiles/aec_tests.dir/tests/read_path_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/read_path_test.cc.o.d"
+  "/root/repo/tests/repair_bandwidth_test.cc" "CMakeFiles/aec_tests.dir/tests/repair_bandwidth_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/repair_bandwidth_test.cc.o.d"
+  "/root/repo/tests/repair_paths_test.cc" "CMakeFiles/aec_tests.dir/tests/repair_paths_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/repair_paths_test.cc.o.d"
+  "/root/repo/tests/repair_property_test.cc" "CMakeFiles/aec_tests.dir/tests/repair_property_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/repair_property_test.cc.o.d"
+  "/root/repo/tests/replication_test.cc" "CMakeFiles/aec_tests.dir/tests/replication_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/replication_test.cc.o.d"
+  "/root/repo/tests/rs_system_test.cc" "CMakeFiles/aec_tests.dir/tests/rs_system_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/rs_system_test.cc.o.d"
+  "/root/repo/tests/rs_test.cc" "CMakeFiles/aec_tests.dir/tests/rs_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/rs_test.cc.o.d"
+  "/root/repo/tests/sharded_store_test.cc" "CMakeFiles/aec_tests.dir/tests/sharded_store_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/sharded_store_test.cc.o.d"
+  "/root/repo/tests/sim_integration_test.cc" "CMakeFiles/aec_tests.dir/tests/sim_integration_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/sim_integration_test.cc.o.d"
+  "/root/repo/tests/store_registry_test.cc" "CMakeFiles/aec_tests.dir/tests/store_registry_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/store_registry_test.cc.o.d"
+  "/root/repo/tests/tamper_test.cc" "CMakeFiles/aec_tests.dir/tests/tamper_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/tamper_test.cc.o.d"
+  "/root/repo/tests/umbrella_test.cc" "CMakeFiles/aec_tests.dir/tests/umbrella_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/umbrella_test.cc.o.d"
+  "/root/repo/tests/write_planner_test.cc" "CMakeFiles/aec_tests.dir/tests/write_planner_test.cc.o" "gcc" "CMakeFiles/aec_tests.dir/tests/write_planner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/CMakeFiles/aec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aecc.dir/src/net/aecc.cc.o"
+  "CMakeFiles/aecc.dir/src/net/aecc.cc.o.d"
+  "aecc"
+  "aecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aecd.dir/src/net/aecd.cc.o"
+  "CMakeFiles/aecd.dir/src/net/aecd.cc.o.d"
+  "aecd"
+  "aecd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aecd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aectool.dir/src/tools/aectool.cc.o"
+  "CMakeFiles/aectool.dir/src/tools/aectool.cc.o.d"
+  "aectool"
+  "aectool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aectool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-ubsan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(aec_tests "/root/repo/build-ubsan/aec_tests")
+set_tests_properties(aec_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;57;add_test;/root/repo/CMakeLists.txt;0;")
