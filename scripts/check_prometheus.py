@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Strict validator for the daemon's Prometheus text exposition.
+
+Reads an exposition (text format 0.0.4) from a file argument or stdin and
+fails loudly if anything is off:
+
+  * every sample line must parse as  name{labels} value  with a finite or
+    +Inf value and a metric name matching [a-zA-Z_:][a-zA-Z0-9_:]*
+  * every sample's family must be preceded by a `# TYPE family <type>`
+    line with type counter|gauge|histogram
+  * histogram families must expose cumulative, monotonically
+    non-decreasing `_bucket{le=...}` series ending in le="+Inf", with the
+    +Inf bucket equal to `_count`, plus `_sum` and `_count` samples
+  * the families CI cares about must be present (health census, request
+    accounting, HTTP listener) — pass --require NAME repeatedly to extend
+
+Usage:  check_prometheus.py [metrics.txt] [--require aec_foo ...]
+
+Stdlib only; exits non-zero with one line per violation.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: \d+)?$"  # optional timestamp
+)
+LABEL_RE = re.compile(r'^\s*([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"\s*$')
+
+DEFAULT_REQUIRED = [
+    "aec_health_vulnerable_blocks",
+    "aec_health_degraded_blocks",
+    "aec_health_min_margin",
+    "aec_net_req_count",
+    "aec_net_conn_active",
+    "aec_net_http_requests",
+]
+
+
+def family_of(name: str, types: dict) -> str:
+    # A name that carries its own TYPE line is its own family even if it
+    # happens to end in _count/_sum (e.g. the plain counter
+    # aec_net_req_count); only otherwise is it a histogram series.
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(raw: str):
+    if raw in ("+Inf", "Inf"):
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("path", nargs="?", help="exposition file (default stdin)")
+    ap.add_argument("--require", action="append", default=[],
+                    help="extra family that must be present")
+    args = ap.parse_args()
+
+    if args.path:
+        with open(args.path, encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = sys.stdin.read()
+
+    errors = []
+    types = {}       # family -> declared type
+    samples = {}     # name -> [(labels dict, value)]
+    seen_families = set()
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram", "summary",
+                                                   "untyped"):
+                errors.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            if parts[2] in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {parts[2]}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        if not NAME_RE.match(name):
+            errors.append(f"line {lineno}: bad metric name {name!r}")
+            continue
+        labels = {}
+        if m.group("labels"):
+            for part in m.group("labels").split(","):
+                lm = LABEL_RE.match(part)
+                if not lm:
+                    errors.append(f"line {lineno}: bad label pair {part!r}")
+                    break
+                labels[lm.group(1)] = lm.group(2)
+        value = parse_value(m.group("value"))
+        if value is None or (math.isnan(value)):
+            errors.append(f"line {lineno}: bad value in {line!r}")
+            continue
+        family = family_of(name, types)
+        seen_families.add(family)
+        if family not in types:
+            errors.append(
+                f"line {lineno}: sample {name!r} precedes its TYPE line")
+        samples.setdefault(name, []).append((labels, value))
+
+    # Histogram invariants.
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = samples.get(family + "_bucket", [])
+        if not buckets:
+            errors.append(f"histogram {family}: no _bucket samples")
+            continue
+        try:
+            series = sorted(
+                (parse_value(labels["le"]), value)
+                for labels, value in buckets)
+        except KeyError:
+            errors.append(f"histogram {family}: bucket without le label")
+            continue
+        prev = -1.0
+        for le, value in series:
+            if value < prev:
+                errors.append(
+                    f"histogram {family}: bucket le={le} count {value} "
+                    f"below previous {prev} (not cumulative)")
+            prev = value
+        if series[-1][0] != math.inf:
+            errors.append(f"histogram {family}: buckets do not end in +Inf")
+        counts = samples.get(family + "_count")
+        if not counts:
+            errors.append(f"histogram {family}: missing _count")
+        elif series[-1][0] == math.inf and counts[0][1] != series[-1][1]:
+            errors.append(
+                f"histogram {family}: +Inf bucket {series[-1][1]} != "
+                f"_count {counts[0][1]}")
+        if family + "_sum" not in samples:
+            errors.append(f"histogram {family}: missing _sum")
+
+    for family in DEFAULT_REQUIRED + args.require:
+        if family not in seen_families:
+            errors.append(f"required family missing: {family}")
+
+    if errors:
+        for err in errors:
+            print(f"check_prometheus: {err}", file=sys.stderr)
+        return 1
+    print(f"check_prometheus: OK — {len(seen_families)} families, "
+          f"{sum(len(v) for v in samples.values())} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+// Shared JSON string escaping for the hand-rolled JSON emitters (stat
+// --json, metrics snapshots, trace dumps, the structured logger).
+//
+// Every surface that interleaves user-supplied text (file names, error
+// messages) into JSON output must route it through here — a bare %s of
+// a name containing a quote or control character silently corrupts the
+// whole document for downstream parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace aec {
+
+/// Appends `s` escaped for a JSON string literal to `out` (surrounding
+/// quotes are the caller's): ", \ and control characters become \",
+/// \\, \n, \t, \r or \u00XX.
+void json_escape_to(std::string& out, std::string_view s);
+
+/// Convenience wrapper returning the escaped copy.
+std::string json_escape(std::string_view s);
+
+}  // namespace aec

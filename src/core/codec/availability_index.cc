@@ -18,10 +18,15 @@ AvailabilityIndex::Stripe& AvailabilityIndex::stripe_of(
 void AvailabilityIndex::on_block(const BlockKey& key, bool present) {
   Stripe& stripe = stripe_of(key);
   std::lock_guard lock(stripe.mu);
+  bool transitioned;
   if (present)
-    stripe.missing.erase(key);
+    transitioned = stripe.missing.erase(key) > 0;
   else
-    stripe.missing.insert(key);
+    transitioned = stripe.missing.insert(key).second;
+  // Still under the stripe lock: deltas for one key reach the listener
+  // in the order the index observed them.
+  if (transitioned && listener_ != nullptr)
+    listener_->on_availability_delta(key, !present);
 }
 
 void AvailabilityIndex::clear() {

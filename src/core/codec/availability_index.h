@@ -37,12 +37,36 @@ bool block_key_order_less(const BlockKey& a, const BlockKey& b) noexcept;
 
 class AvailabilityIndex final : public BlockStore::Observer {
  public:
+  /// Downstream consumer of presence *transitions* (HealthMonitor, the
+  /// future background scrubber). on_availability_delta fires only when
+  /// a key actually changes state (became missing / became present
+  /// again) — a put of an already-present block is silent — and runs
+  /// under the key's stripe lock, so deltas for one key arrive in order.
+  /// Implementations must be cheap and must not reenter the index or
+  /// mutate an observed store (lock order is stripe → listener, never
+  /// the reverse).
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    virtual void on_availability_delta(const BlockKey& key, bool missing) = 0;
+  };
+
+  /// Single listener slot (nullptr detaches). Attach before concurrent
+  /// mutators start — the pointer itself is unsynchronized, exactly like
+  /// BlockStore::set_observer.
+  void set_delta_listener(Listener* listener) noexcept {
+    listener_ = listener;
+  }
+  Listener* delta_listener() const noexcept { return listener_; }
+
   /// Store-observer hook; also the manual seeding entry point.
   /// Thread-safe.
   void on_block(const BlockKey& key, bool present) override;
 
   /// Forgets everything (every block presumed present). Reseed from the
-  /// store afterwards if damage may predate the index.
+  /// store afterwards if damage may predate the index. The delta
+  /// listener is NOT notified — callers that reseed must also reset the
+  /// listener's mirror (HealthMonitor::reset_from).
   void clear();
 
   std::uint64_t missing_count() const;
@@ -73,6 +97,7 @@ class AvailabilityIndex final : public BlockStore::Observer {
   Stripe& stripe_of(const BlockKey& key) const noexcept;
 
   mutable std::array<Stripe, kStripes> stripes_;
+  Listener* listener_ = nullptr;
 };
 
 }  // namespace aec

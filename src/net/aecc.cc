@@ -8,13 +8,25 @@
 //   aecc metrics --port P                     metrics snapshot JSON
 //   aecc scrub   --port P
 //   aecc node    <fail|heal|rebuild> --port P --node K
+//   aecc trace   <ping|put|get|ls|stat|metrics|scrub> --port P [...]
+//                [--request-id N]
 //
 // The network twin of aectool: put streams the file up in bounded
 // chunks, get streams it back down (repairing through the codec on the
 // server as needed), and the control-plane commands mirror their local
 // counterparts. Server-side failures arrive as typed errors with the
 // original CheckError text and exit 1; usage errors exit 2.
+//
+// `trace <cmd>` re-runs a command with wire-level trace propagation on:
+// every frame of the operation carries one fresh trace id (the AEC2
+// header), the daemon's "net.request" spans adopt it, and the client's
+// own "net.client.request" span ring is dumped as JSONL to stdout
+// afterwards (use -o for traced gets — the payload would share stdout).
+// The trace id is printed to stderr; pass it to --request-id here (or
+// to the daemon's GET /trace?request_id=) to filter merged dumps down
+// to one request.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <set>
@@ -23,6 +35,7 @@
 
 #include "common/check.h"
 #include "net/client.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -43,7 +56,10 @@ using aec::net::ClientConfig;
       "  scrub                        repair + integrity scan\n"
       "  node fail    --node K        take a cluster node down\n"
       "  node heal    --node K        bring it back\n"
-      "  node rebuild --node K        replace + re-materialize it\n");
+      "  node rebuild --node K        replace + re-materialize it\n"
+      "  trace <cmd> [--request-id N] re-run <cmd> with trace-id\n"
+      "                               propagation on; dump spans as\n"
+      "                               JSONL (filtered to N when given)\n");
   std::exit(2);
 }
 
@@ -63,6 +79,8 @@ const std::set<std::string>& allowed_options(const std::string& command) {
       {"metrics", {"--port", "--host"}},
       {"scrub", {"--port", "--host"}},
       {"node", {"--port", "--host", "--node"}},
+      {"trace", {"--port", "--host", "--name", "--out", "--metrics",
+                 "--node", "--request-id"}},
   };
   const auto it = allowed.find(command);
   if (it == allowed.end()) {
@@ -99,7 +117,7 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
-int run(const Args& args) {
+int run_command(Client& client, const Args& args) {
   const auto option = [&](const char* key) -> const std::string& {
     const auto it = args.options.find(key);
     if (it == args.options.end()) {
@@ -109,24 +127,6 @@ int run(const Args& args) {
     }
     return it->second;
   };
-
-  ClientConfig config;
-  {
-    const std::string& text = option("--port");
-    const bool numeric =
-        !text.empty() && text.size() <= 5 &&
-        text.find_first_not_of("0123456789") == std::string::npos;
-    if (!numeric) {
-      std::fprintf(stderr, "error: --port wants a number, got '%s'\n",
-                   text.c_str());
-      usage();
-    }
-    config.port = static_cast<std::uint16_t>(std::stoul(text));
-  }
-  const auto host_it = args.options.find("--host");
-  if (host_it != args.options.end()) config.host = host_it->second;
-
-  Client client(config);
 
   if (args.command == "ping") {
     client.ping();
@@ -240,6 +240,60 @@ int run(const Args& args) {
     usage();
   }
   usage();
+}
+
+int run(Args args) {
+  ClientConfig config;
+  {
+    const auto port_it = args.options.find("--port");
+    if (port_it == args.options.end()) {
+      std::fprintf(stderr, "error: '%s' requires --port\n",
+                   args.command.c_str());
+      usage();
+    }
+    const std::string& text = port_it->second;
+    const bool numeric =
+        !text.empty() && text.size() <= 5 &&
+        text.find_first_not_of("0123456789") == std::string::npos;
+    if (!numeric) {
+      std::fprintf(stderr, "error: --port wants a number, got '%s'\n",
+                   text.c_str());
+      usage();
+    }
+    config.port = static_cast<std::uint16_t>(std::stoul(text));
+  }
+  const auto host_it = args.options.find("--host");
+  if (host_it != args.options.end()) config.host = host_it->second;
+
+  const bool tracing = args.command == "trace";
+  std::uint64_t request_id_filter = 0;
+  if (tracing) {
+    if (args.positional.empty()) {
+      std::fprintf(stderr,
+                   "error: trace wants a command to run (ping | put | get "
+                   "| ls | stat | metrics | scrub | node)\n");
+      usage();
+    }
+    args.command = args.positional.front();
+    args.positional.erase(args.positional.begin());
+    if (const auto it = args.options.find("--request-id");
+        it != args.options.end())
+      request_id_filter = std::strtoull(it->second.c_str(), nullptr, 10);
+    config.trace = true;
+    aec::obs::TraceRing::global().enable();
+  }
+
+  Client client(config);
+  const int rc = run_command(client, args);
+
+  if (tracing) {
+    aec::obs::TraceRing::global().disable();
+    // The id also selects this request in the daemon's GET /trace dump.
+    std::fprintf(stderr, "trace: id %llu\n",
+                 static_cast<unsigned long long>(client.last_trace_id()));
+    aec::obs::TraceRing::global().dump_jsonl(stdout, request_id_filter);
+  }
+  return rc;
 }
 
 }  // namespace

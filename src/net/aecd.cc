@@ -2,6 +2,7 @@
 //
 //   aecd --root DIR [--port P] [--bind ADDR] [--threads N]
 //        [--max-inflight N] [--idle-timeout-ms N] [--port-file PATH]
+//        [--http-port P] [--http-port-file PATH] [--log-level LEVEL]
 //
 // The daemon owns the archive for its lifetime: one epoll reactor
 // thread multiplexes every connection, one executor thread drives the
@@ -11,6 +12,14 @@
 // without parsing logs. SIGTERM/SIGINT trigger a graceful drain:
 // in-flight requests finish and flush, new ones are refused with
 // `shutting_down`, then the process exits 0.
+//
+// --http-port adds the observability listener on the same reactor:
+// GET /metrics (Prometheus text exposition), GET /healthz (200/503 off
+// the live health gauges) and GET /trace (span ring as JSONL; the ring
+// is enabled at startup when the listener is on, so wire-propagated
+// trace ids from traced aecc clients are queryable). Daemon lifecycle
+// messages are structured JSONL on stderr (obs/log.h) — grep-able and
+// machine-parseable, with repeated messages rate-limited.
 #include <signal.h>
 #include <sys/epoll.h>
 #include <sys/signalfd.h>
@@ -23,6 +32,8 @@
 
 #include "common/check.h"
 #include "net/server.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "tools/archive.h"
 
 namespace {
@@ -38,7 +49,12 @@ namespace {
       "  --max-inflight N       admission limit (default 64)\n"
       "  --idle-timeout-ms N    idle connection sweep (default 60000,"
       " 0 = off)\n"
-      "  --port-file PATH       write the bound port to PATH\n");
+      "  --port-file PATH       write the bound port to PATH\n"
+      "  --http-port P          observability HTTP listener (/metrics,\n"
+      "                         /healthz, /trace); 0 = ephemeral;\n"
+      "                         absent = disabled\n"
+      "  --http-port-file PATH  write the bound HTTP port to PATH\n"
+      "  --log-level LEVEL      debug|info|warn|error (default info)\n");
   std::exit(2);
 }
 
@@ -73,6 +89,7 @@ int run(int argc, char** argv) {
   aec::net::ServerConfig config;
   std::size_t threads = 1;
   std::string port_file;
+  std::string http_port_file;
   for (const auto& [key, value] : options) {
     if (key == "--root") {
       continue;
@@ -88,6 +105,24 @@ int run(int argc, char** argv) {
       config.idle_timeout_ms = static_cast<int>(parse_number(key, value));
     } else if (key == "--port-file") {
       port_file = value;
+    } else if (key == "--http-port") {
+      config.http_port = static_cast<int>(parse_number(key, value));
+    } else if (key == "--http-port-file") {
+      http_port_file = value;
+    } else if (key == "--log-level") {
+      if (value == "debug") {
+        aec::obs::Logger::global().set_min_level(aec::obs::LogLevel::kDebug);
+      } else if (value == "info") {
+        aec::obs::Logger::global().set_min_level(aec::obs::LogLevel::kInfo);
+      } else if (value == "warn") {
+        aec::obs::Logger::global().set_min_level(aec::obs::LogLevel::kWarn);
+      } else if (value == "error") {
+        aec::obs::Logger::global().set_min_level(aec::obs::LogLevel::kError);
+      } else {
+        std::fprintf(stderr, "error: --log-level wants debug|info|warn|"
+                             "error, got '%s'\n", value.c_str());
+        usage();
+      }
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", key.c_str());
       usage();
@@ -108,30 +143,44 @@ int run(int argc, char** argv) {
   auto archive = aec::tools::Archive::open(
       root_it->second, aec::Engine::with_threads(threads));
   aec::net::Server server(archive.get(), config);
+  aec::obs::Logger& log = aec::obs::Logger::global();
 
-  server.loop().add(sig_fd, EPOLLIN, [&server, sig_fd](std::uint32_t) {
+  server.loop().add(sig_fd, EPOLLIN, [&server, sig_fd, &log](std::uint32_t) {
     signalfd_siginfo info;
     while (::read(sig_fd, &info, sizeof info) == sizeof info) {
     }
-    std::fprintf(stderr, "aecd: draining...\n");
+    log.info("aecd", "draining: shutdown signal received");
     server.shutdown();
   });
 
-  if (!port_file.empty()) {
-    std::FILE* out = std::fopen(port_file.c_str(), "w");
+  const auto write_port_file = [](const std::string& path,
+                                  std::uint16_t port) {
+    std::FILE* out = std::fopen(path.c_str(), "w");
     AEC_CHECK_MSG(out != nullptr,
-                  "cannot write " << port_file << ": "
-                                  << std::strerror(errno));
-    std::fprintf(out, "%u\n", server.port());
+                  "cannot write " << path << ": " << std::strerror(errno));
+    std::fprintf(out, "%u\n", port);
     std::fclose(out);
+  };
+  if (!port_file.empty()) write_port_file(port_file, server.port());
+  if (!http_port_file.empty() && config.http_port >= 0)
+    write_port_file(http_port_file, server.http_port());
+
+  if (config.http_port >= 0) {
+    // With the exposition listener up, arm the span ring so GET /trace
+    // has content and traced clients' ids are queryable server-side.
+    aec::obs::TraceRing::global().enable();
+    log.info("aecd", "observability http on " + config.bind_address + ":" +
+                         std::to_string(server.http_port()) +
+                         " (/metrics /healthz /trace)");
   }
-  std::fprintf(stderr, "aecd: serving %s on %s:%u (pid %d)\n",
-               root_it->second.c_str(), config.bind_address.c_str(),
-               server.port(), static_cast<int>(::getpid()));
+  log.info("aecd", "serving " + root_it->second + " on " +
+                       config.bind_address + ":" +
+                       std::to_string(server.port()) + " (pid " +
+                       std::to_string(::getpid()) + ")");
 
   server.run();
   ::close(sig_fd);
-  std::fprintf(stderr, "aecd: drained, exiting\n");
+  log.info("aecd", "drained, exiting");
   return 0;
 }
 

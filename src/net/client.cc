@@ -25,8 +25,32 @@ constexpr std::size_t kPutPipelineWindow = 8;
 
 }  // namespace
 
+Client::OpScope::OpScope(Client& client, const char* what)
+    : client_(client), span_("net.client.request") {
+  if (client_.trace_) {
+    client_.active_trace_id_ = client_.new_trace_id();
+    client_.last_trace_id_ = client_.active_trace_id_;
+    span_.set_request_id(client_.active_trace_id_);
+  }
+  span_.set_label(what);
+}
+
+Client::OpScope::~OpScope() { client_.active_trace_id_ = 0; }
+
+std::uint64_t Client::new_trace_id() noexcept {
+  // Distinct across the several Clients a test (or bench worker pool)
+  // runs in one process: fold the object identity into the counter.
+  const auto self =
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(this));
+  std::uint64_t id = (self * 0x9E3779B97F4A7C15ull) ^ ++trace_count_;
+  if (id == 0) id = 1;  // 0 means "untraced" on the wire
+  return id;
+}
+
 Client::Client(ClientConfig config)
-    : config_(std::move(config)), parser_(config_.max_payload) {
+    : config_(std::move(config)),
+      parser_(config_.max_payload),
+      trace_(config_.trace) {
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   AEC_CHECK_MSG(fd_ >= 0, "socket: " << std::strerror(errno));
 
@@ -102,13 +126,19 @@ Frame Client::recv_reply(std::uint64_t request_id) {
 
 Frame Client::roundtrip(Op op, Bytes payload) {
   const std::uint64_t id = next_request_id_++;
-  send_frame(Frame{static_cast<std::uint16_t>(op), id, std::move(payload)});
+  Frame frame{static_cast<std::uint16_t>(op), id, std::move(payload)};
+  frame.trace_id = active_trace_id_;
+  send_frame(frame);
   return recv_reply(id);
 }
 
-void Client::ping() { roundtrip(Op::kPing, {}); }
+void Client::ping() {
+  OpScope scope(*this, "ping");
+  roundtrip(Op::kPing, {});
+}
 
 std::string Client::stat_json(bool include_metrics) {
+  OpScope scope(*this, "stat");
   PayloadWriter w;
   w.u8(include_metrics ? 1 : 0);
   Frame reply = roundtrip(Op::kStat, w.take());
@@ -119,6 +149,7 @@ std::string Client::stat_json(bool include_metrics) {
 }
 
 std::string Client::metrics_json() {
+  OpScope scope(*this, "metrics");
   Frame reply = roundtrip(Op::kMetrics, {});
   PayloadReader r(reply.payload);
   std::string json = r.str();
@@ -127,6 +158,7 @@ std::string Client::metrics_json() {
 }
 
 ScrubResult Client::scrub() {
+  OpScope scope(*this, "scrub");
   Frame reply = roundtrip(Op::kScrub, {});
   PayloadReader r(reply.payload);
   ScrubResult result;
@@ -140,6 +172,7 @@ ScrubResult Client::scrub() {
 }
 
 std::vector<RemoteFileEntry> Client::list() {
+  OpScope scope(*this, "list");
   Frame reply = roundtrip(Op::kList, {});
   PayloadReader r(reply.payload);
   const std::uint32_t count = r.u32();
@@ -158,6 +191,11 @@ std::vector<RemoteFileEntry> Client::list() {
 
 PutResult Client::put_stream(const std::string& name,
                              const ChunkProducer& produce) {
+  // One logical op, one trace id: PUT_BEGIN, every pipelined PUT_CHUNK
+  // and PUT_END all share it while each keeps its own request id. The
+  // label carries the (user-supplied) archive name.
+  OpScope scope(*this, "put");
+  scope.set_label(name);
   {
     PayloadWriter w;
     w.str(name);
@@ -170,6 +208,7 @@ PutResult Client::put_stream(const std::string& name,
     if (n == 0) break;
     const std::uint64_t id = next_request_id_++;
     Frame frame{static_cast<std::uint16_t>(Op::kPutChunk), id, {}};
+    frame.trace_id = active_trace_id_;
     frame.payload.assign(chunk.begin(),
                          chunk.begin() + static_cast<std::ptrdiff_t>(n));
     send_frame(frame);
@@ -223,10 +262,14 @@ PutResult Client::put_file(const std::string& name,
 }
 
 std::uint64_t Client::get(const std::string& name, const ChunkSink& sink) {
+  OpScope scope(*this, "get");
+  scope.set_label(name);
   const std::uint64_t id = next_request_id_++;
   PayloadWriter w;
   w.str(name);
-  send_frame(Frame{static_cast<std::uint16_t>(Op::kGetFile), id, w.take()});
+  Frame frame{static_cast<std::uint16_t>(Op::kGetFile), id, w.take()};
+  frame.trace_id = active_trace_id_;
+  send_frame(frame);
   std::uint64_t total = 0;
   for (;;) {
     Frame frame = recv_reply(id);  // throws on kError
@@ -280,18 +323,21 @@ std::uint64_t Client::get_to_file(const std::string& name,
 }
 
 void Client::node_fail(std::uint32_t node) {
+  OpScope scope(*this, "node_fail");
   PayloadWriter w;
   w.u32(node);
   roundtrip(Op::kNodeFail, w.take());
 }
 
 void Client::node_heal(std::uint32_t node) {
+  OpScope scope(*this, "node_heal");
   PayloadWriter w;
   w.u32(node);
   roundtrip(Op::kNodeHeal, w.take());
 }
 
 RebuildResult Client::node_rebuild(std::uint32_t node) {
+  OpScope scope(*this, "node_rebuild");
   PayloadWriter w;
   w.u32(node);
   Frame reply = roundtrip(Op::kNodeRebuild, w.take());

@@ -28,6 +28,7 @@
 
 #include "common/bytes.h"
 #include "net/protocol.h"
+#include "obs/trace.h"
 
 namespace aec::net {
 
@@ -40,6 +41,11 @@ struct ClientConfig {
   std::size_t max_payload = kDefaultMaxPayload;
   /// PUT_CHUNK payload size for the streaming helpers.
   std::size_t put_chunk_bytes = 1u << 20;
+  /// Stamp every frame of each logical op with a fresh trace id (frames
+  /// switch to the AEC2 header) so daemon-side "net.request" spans adopt
+  /// the same correlation id as the client's "net.client.request" span.
+  /// Off by default: untraced frames stay byte-identical to old clients.
+  bool trace = false;
 };
 
 /// A typed error reply from the server.
@@ -116,7 +122,32 @@ class Client {
   void node_heal(std::uint32_t node);
   RebuildResult node_rebuild(std::uint32_t node);
 
+  /// Toggles wire-level trace propagation (see ClientConfig::trace).
+  void set_trace(bool on) noexcept { trace_ = on; }
+  bool trace() const noexcept { return trace_; }
+  /// Trace id of the most recent traced logical op (0 before the first)
+  /// — what "aecc trace --request-id" filters dumps on.
+  std::uint64_t last_trace_id() const noexcept { return last_trace_id_; }
+
  private:
+  /// RAII around one logical op: allocates the trace id while tracing
+  /// and records a "net.client.request" span in the global ring.
+  class OpScope {
+   public:
+    OpScope(Client& client, const char* what);
+    ~OpScope();
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+    /// Free-form span label ("put" ops use the archive file name —
+    /// user-supplied text the dump escapes).
+    void set_label(std::string_view text) noexcept { span_.set_label(text); }
+
+   private:
+    Client& client_;
+    obs::TraceSpan span_;
+  };
+
+  std::uint64_t new_trace_id() noexcept;
   void send_frame(const Frame& frame);
   /// Blocks for the next frame (CheckError on EOF/timeout/framing).
   Frame recv_frame();
@@ -129,6 +160,10 @@ class Client {
   int fd_ = -1;
   FrameParser parser_;
   std::uint64_t next_request_id_ = 1;
+  bool trace_ = false;
+  std::uint64_t trace_count_ = 0;
+  std::uint64_t active_trace_id_ = 0;  // nonzero inside a traced op
+  std::uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace aec::net

@@ -78,12 +78,17 @@ const char* to_string(ErrorCode code) noexcept {
 }
 
 void encode_frame(const Frame& frame, Bytes& out) {
-  out.reserve(out.size() + kHeaderSize + frame.payload.size());
-  put_le(out, kMagic, 4);
+  // Untraced frames keep the AEC1 header: byte-identical to pre-trace
+  // writers, parseable by pre-trace readers.
+  const bool v2 = frame.trace_id != 0;
+  out.reserve(out.size() + (v2 ? kHeaderSizeV2 : kHeaderSize) +
+              frame.payload.size());
+  put_le(out, v2 ? kMagicV2 : kMagic, 4);
   put_le(out, frame.payload.size(), 4);
   put_le(out, frame.op, 2);
   put_le(out, 0, 2);  // flags, reserved
   put_le(out, frame.request_id, 8);
+  if (v2) put_le(out, frame.trace_id, 8);
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
 }
 
@@ -112,11 +117,13 @@ std::optional<Frame> FrameParser::next() {
   if (buffered() < kHeaderSize) return std::nullopt;
   const std::uint8_t* h = buffer_.data() + pos_;
   const auto magic = static_cast<std::uint32_t>(get_le(h, 4));
-  if (magic != kMagic) {
+  if (magic != kMagic && magic != kMagicV2) {
     error_ = true;
     error_text_ = "bad frame magic";
     return std::nullopt;
   }
+  const std::size_t header_size =
+      magic == kMagicV2 ? kHeaderSizeV2 : kHeaderSize;
   const auto payload_len = static_cast<std::size_t>(get_le(h + 4, 4));
   if (payload_len > max_payload_) {
     error_ = true;
@@ -125,15 +132,16 @@ std::optional<Frame> FrameParser::next() {
                   std::to_string(max_payload_) + ")";
     return std::nullopt;
   }
-  if (buffered() < kHeaderSize + payload_len) return std::nullopt;
+  if (buffered() < header_size + payload_len) return std::nullopt;
 
   Frame frame;
   frame.op = static_cast<std::uint16_t>(get_le(h + 8, 2));
   // h + 10: flags — reserved, ignored on read.
   frame.request_id = get_le(h + 12, 8);
-  const std::uint8_t* body = h + kHeaderSize;
+  if (magic == kMagicV2) frame.trace_id = get_le(h + 20, 8);
+  const std::uint8_t* body = h + header_size;
   frame.payload.assign(body, body + payload_len);
-  pos_ += kHeaderSize + payload_len;
+  pos_ += header_size + payload_len;
   return frame;
 }
 

@@ -1,14 +1,24 @@
 // aecd wire protocol: length-prefixed binary frames over a byte stream.
 //
-// Every message is one frame — a fixed 20-byte little-endian header
-// followed by an opaque payload:
+// Every message is one frame — a fixed little-endian header followed by
+// an opaque payload. Two header versions coexist on the wire, selected
+// per frame by the magic:
 //
 //   offset  size  field
-//        0     4  magic       0x31434541 ("AEC1")
+//        0     4  magic       0x31434541 ("AEC1") or 0x32434541 ("AEC2")
 //        4     4  payload_len bytes after the header (bounded, see below)
 //        8     2  opcode      Op
 //       10     2  flags       reserved, writers send 0, readers ignore
 //       12     8  request_id  client-chosen; echoed on every reply frame
+//       20     8  trace_id    AEC2 only: cross-process correlation id
+//
+// AEC1 is the original 20-byte header; AEC2 appends a 64-bit trace id
+// that spans one logical operation (a pipelined PUT's many frames share
+// one trace id while each carries its own request id) and is adopted by
+// the server's `net.request` spans, so client and daemon traces line up.
+// A writer emits AEC1 whenever trace_id is 0, so untraced new clients
+// stay byte-identical to old ones and old parsers never see AEC2; both
+// built-in ends parse either magic per frame.
 //
 // Requests carry a client-chosen request id; the server echoes it on
 // every frame it sends for that request, so a client (or a pipelined
@@ -40,8 +50,10 @@
 
 namespace aec::net {
 
-constexpr std::uint32_t kMagic = 0x31434541;  // "AEC1" little-endian
+constexpr std::uint32_t kMagic = 0x31434541;    // "AEC1" little-endian
+constexpr std::uint32_t kMagicV2 = 0x32434541;  // "AEC2" little-endian
 constexpr std::size_t kHeaderSize = 20;
+constexpr std::size_t kHeaderSizeV2 = 28;  // + u64 trace_id
 /// Default payload_len bound (per frame). PUT chunks and GET stream
 /// chunks are sized well below this by both built-in ends.
 constexpr std::size_t kDefaultMaxPayload = 8u << 20;
@@ -94,6 +106,9 @@ struct Frame {
   std::uint16_t op = 0;  // raw: unknown opcodes must survive parsing
   std::uint64_t request_id = 0;
   Bytes payload;
+  /// 0 = untraced (and the frame encodes as AEC1 for old-peer interop).
+  /// Last on purpose: `Frame{op, id, payload}` call sites predate it.
+  std::uint64_t trace_id = 0;
 };
 
 /// Appends the encoded frame to `out` (header + payload).

@@ -9,10 +9,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 #include "tools/archive.h"
 
@@ -26,6 +28,25 @@ std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
           std::chrono::steady_clock::now() - since)
           .count());
 }
+
+/// One-shot HTTP/1.1 response; Connection: close is the protocol here.
+std::string http_response(int status, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Bound on buffered request-header bytes before the peer is dropped.
+constexpr std::size_t kHttpMaxRequest = 16u << 10;
 
 }  // namespace
 
@@ -56,8 +77,16 @@ Server::Server(tools::Archive* archive, ServerConfig config)
         reg.histogram(std::string("net.req.latency_us.") + op_name(op),
                       obs::Histogram::latency_bounds_us());
   }
+  http_requests_ = reg.counter("net.http.requests");
+  // Registry lookups dedup by name: these are the same gauge objects the
+  // archive's HealthMonitor publishes into (or zeros if it never does).
+  health_vulnerable_ = reg.gauge("health.vulnerable_blocks");
+  health_data_missing_ = reg.gauge("health.data_missing");
+  health_parity_missing_ = reg.gauge("health.parity_missing");
+  health_min_margin_ = reg.gauge("health.min_margin");
 
   open_listener();
+  if (config_.http_port >= 0) open_http_listener();
   loop_.set_tick(250, [this] {
     sweep_idle();
     if (draining_) {
@@ -69,7 +98,10 @@ Server::Server(tools::Archive* archive, ServerConfig config)
 
 Server::~Server() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (http_listen_fd_ >= 0) ::close(http_listen_fd_);
   for (auto& [id, conn] : conns_)
+    if (conn->fd >= 0) ::close(conn->fd);
+  for (auto& [id, conn] : http_conns_)
     if (conn->fd >= 0) ::close(conn->fd);
 }
 
@@ -124,6 +156,12 @@ void Server::run() {
     conn_active_->add(-1);
   }
   conns_.clear();
+  for (auto& [id, conn] : http_conns_) {
+    loop_.remove(conn->fd);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  http_conns_.clear();
 }
 
 void Server::shutdown() {
@@ -136,6 +174,11 @@ void Server::shutdown() {
       loop_.remove(listen_fd_);
       ::close(listen_fd_);
       listen_fd_ = -1;
+    }
+    if (http_listen_fd_ >= 0) {
+      loop_.remove(http_listen_fd_);
+      ::close(http_listen_fd_);
+      http_listen_fd_ = -1;
     }
     check_drain();
   });
@@ -377,6 +420,211 @@ void Server::sweep_idle() {
         conn->last_activity < cutoff)
       victims.push_back(id);
   for (const std::uint64_t id : victims) close_conn(id);
+  victims.clear();
+  for (const auto& [id, conn] : http_conns_)
+    if (conn->last_activity < cutoff) victims.push_back(id);
+  for (const std::uint64_t id : victims) close_http_conn(id);
+}
+
+// --- HTTP exposition ------------------------------------------------------
+
+void Server::open_http_listener() {
+  http_listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  AEC_CHECK_MSG(http_listen_fd_ >= 0, "socket: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(http_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.http_port));
+  AEC_CHECK_MSG(
+      ::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) == 1,
+      "bad bind address '" << config_.bind_address << "'");
+  AEC_CHECK_MSG(::bind(http_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof addr) == 0,
+                "bind " << config_.bind_address << ":" << config_.http_port
+                        << " (http): " << std::strerror(errno));
+  AEC_CHECK_MSG(::listen(http_listen_fd_, 64) == 0,
+                "listen (http): " << std::strerror(errno));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  AEC_CHECK_MSG(::getsockname(http_listen_fd_,
+                              reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+                "getsockname (http): " << std::strerror(errno));
+  http_port_ = ntohs(bound.sin_port);
+
+  loop_.add(http_listen_fd_, EPOLLIN,
+            [this](std::uint32_t) { on_http_accept(); });
+}
+
+void Server::on_http_accept() {
+  for (;;) {
+    const int fd = ::accept4(http_listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (http_conns_.size() >= 32) {  // scrapers, not clients: keep it small
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<HttpConn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->last_activity = Clock::now();
+    const std::uint64_t id = conn->id;
+    loop_.add(fd, EPOLLIN,
+              [this, id](std::uint32_t events) { on_http_event(id, events); });
+    http_conns_.emplace(id, std::move(conn));
+  }
+}
+
+void Server::on_http_event(std::uint64_t conn_id, std::uint32_t events) {
+  const auto it = http_conns_.find(conn_id);
+  if (it == http_conns_.end()) return;
+  HttpConn& conn = *it->second;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_http_conn(conn_id);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    http_flush(conn);
+    return;  // conn may be gone; EPOLLIN after respond is irrelevant
+  }
+  if (!(events & EPOLLIN)) return;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n == 0) {
+      close_http_conn(conn_id);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_http_conn(conn_id);
+      return;
+    }
+    conn.last_activity = Clock::now();
+    if (conn.responded) continue;  // drain pipelined bytes, ignore
+    conn.in.append(buf, static_cast<std::size_t>(n));
+    if (conn.in.size() > kHttpMaxRequest) {
+      close_http_conn(conn_id);
+      return;
+    }
+  }
+  if (!conn.responded && conn.in.find("\r\n\r\n") != std::string::npos)
+    http_respond(conn);
+}
+
+std::string Server::http_body_healthz(int& status) const {
+  const std::int64_t vulnerable = health_vulnerable_->value();
+  const std::int64_t data_missing = health_data_missing_->value();
+  const std::int64_t parity_missing = health_parity_missing_->value();
+  const char* state = "ok";
+  status = 200;
+  if (data_missing + parity_missing > 0) {
+    state = "degraded";
+    status = 503;
+  }
+  if (vulnerable > 0) {
+    state = "vulnerable";
+    status = 503;
+  }
+  std::string body = "{\"status\":\"";
+  body += state;
+  body += "\",\"vulnerable_blocks\":";
+  body += std::to_string(vulnerable);
+  body += ",\"data_missing\":";
+  body += std::to_string(data_missing);
+  body += ",\"parity_missing\":";
+  body += std::to_string(parity_missing);
+  body += ",\"min_margin\":";
+  body += std::to_string(health_min_margin_->value());
+  body += "}\n";
+  return body;
+}
+
+void Server::http_respond(HttpConn& conn) {
+  http_requests_->add();
+  conn.responded = true;
+  const std::size_t line_end = conn.in.find("\r\n");
+  const std::string line = conn.in.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string method =
+      sp1 == std::string::npos ? std::string() : line.substr(0, sp1);
+  std::string target = sp2 == std::string::npos
+                           ? std::string()
+                           : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string query;
+  if (const std::size_t q = target.find('?'); q != std::string::npos) {
+    query = target.substr(q + 1);
+    target.resize(q);
+  }
+
+  if (method != "GET") {
+    conn.out = http_response(405, "Method Not Allowed", "text/plain",
+                             "only GET here\n");
+  } else if (target == "/metrics") {
+    conn.out = http_response(
+        200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+        obs::MetricsRegistry::global().snapshot().to_prometheus());
+  } else if (target == "/healthz") {
+    int status = 200;
+    const std::string body = http_body_healthz(status);
+    conn.out = http_response(status, status == 200 ? "OK"
+                                                   : "Service Unavailable",
+                             "application/json", body);
+  } else if (target == "/trace") {
+    std::uint64_t request_id = 0;
+    const std::string key = "request_id=";
+    if (const std::size_t at = query.find(key); at != std::string::npos) {
+      const char* p = query.c_str() + at + key.size();
+      request_id = std::strtoull(p, nullptr, 10);
+    }
+    conn.out = http_response(
+        200, "OK", "application/x-ndjson",
+        obs::TraceRing::global().dump_jsonl_string(request_id));
+  } else {
+    conn.out = http_response(404, "Not Found", "text/plain",
+                             "try /metrics, /healthz or /trace\n");
+  }
+  conn.in.clear();
+  http_flush(conn);
+}
+
+void Server::http_flush(HttpConn& conn) {
+  const std::uint64_t conn_id = conn.id;
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
+                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      loop_.modify(conn.fd, EPOLLIN | EPOLLOUT);
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close_http_conn(conn_id);
+    return;
+  }
+  if (conn.responded) close_http_conn(conn_id);  // one-shot: done
+}
+
+void Server::close_http_conn(std::uint64_t conn_id) {
+  const auto it = http_conns_.find(conn_id);
+  if (it == http_conns_.end()) return;
+  loop_.remove(it->second->fd);
+  ::close(it->second->fd);
+  it->second->fd = -1;
+  http_conns_.erase(it);
 }
 
 // --- executor ------------------------------------------------------------
@@ -443,6 +691,10 @@ bool Server::exec_send(const ExecItem& item, Frame frame) {
     if (!ok) {
       // The client stopped reading; it may not park the archive lane.
       lock.unlock();
+      obs::Logger::global().warn(
+          "net", "dropping stalled connection: write budget blocked past "
+                 "write_stall_timeout_ms",
+          item.frame.request_id);
       const std::uint64_t conn_id = item.conn_id;
       loop_.post([this, conn_id] { close_conn(conn_id); });
       return false;
@@ -461,6 +713,12 @@ bool Server::exec_send(const ExecItem& item, Frame frame) {
 void Server::handle_request(const ExecItem& item) {
   obs::TraceSpan span("net.request");
   span.set_args(item.frame.op, item.frame.payload.size());
+  span.set_label(op_name(item.frame.op));
+  // Adopt the client's wire-propagated trace id so both ends' spans
+  // share one correlation id; untraced clients fall back to the
+  // per-frame request id.
+  span.set_request_id(item.frame.trace_id != 0 ? item.frame.trace_id
+                                               : item.frame.request_id);
   const std::uint64_t id = item.frame.request_id;
   const auto reply_op = static_cast<std::uint16_t>(Op::kReply);
   PayloadReader req(item.frame.payload);
@@ -597,7 +855,10 @@ void Server::handle_request(const ExecItem& item) {
     reply = error_frame(id, ErrorCode::kIo, e.what());
   }
 
-  if (!streamed) exec_send(item, std::move(reply));
+  if (!streamed) {
+    reply.trace_id = item.frame.trace_id;  // echo: replies stay correlated
+    exec_send(item, std::move(reply));
+  }
   const auto hist = req_latency_us_.find(item.frame.op);
   if (hist != req_latency_us_.end())
     hist->second->observe(elapsed_us(item.enqueued));
@@ -605,11 +866,13 @@ void Server::handle_request(const ExecItem& item) {
 
 void Server::handle_get(const ExecItem& item, PayloadReader& req) {
   const std::uint64_t id = item.frame.request_id;
+  const std::uint64_t trace = item.frame.trace_id;
   const std::string name = req.str();
   req.expect_done();
   if (archive_->find_file(name) == nullptr) {
-    exec_send(item, error_frame(id, ErrorCode::kNotFound,
-                                "no such file: " + name));
+    Frame err = error_frame(id, ErrorCode::kNotFound, "no such file: " + name);
+    err.trace_id = trace;
+    exec_send(item, std::move(err));
     return;
   }
   tools::FileReader reader = archive_->open_reader(name);
@@ -617,9 +880,10 @@ void Server::handle_get(const ExecItem& item, PayloadReader& req) {
   for (;;) {
     const std::optional<BytesView> chunk = reader.next_chunk();
     if (!chunk) {
-      exec_send(item,
-                error_frame(id, ErrorCode::kNotFound,
-                            "irrecoverable content in file: " + name));
+      Frame err = error_frame(id, ErrorCode::kNotFound,
+                              "irrecoverable content in file: " + name);
+      err.trace_id = trace;
+      exec_send(item, std::move(err));
       return;
     }
     if (chunk->empty()) break;  // EOF
@@ -628,6 +892,7 @@ void Server::handle_get(const ExecItem& item, PayloadReader& req) {
       const std::size_t n =
           std::min(config_.get_chunk_bytes, chunk->size() - off);
       Frame data{static_cast<std::uint16_t>(Op::kGetData), id, {}};
+      data.trace_id = trace;
       data.payload.assign(chunk->begin() + static_cast<std::ptrdiff_t>(off),
                           chunk->begin() + static_cast<std::ptrdiff_t>(off) +
                               static_cast<std::ptrdiff_t>(n));
@@ -637,8 +902,9 @@ void Server::handle_get(const ExecItem& item, PayloadReader& req) {
   }
   PayloadWriter w;
   w.u64(total);
-  exec_send(item, Frame{static_cast<std::uint16_t>(Op::kGetEnd), id,
-                        w.take()});
+  Frame end{static_cast<std::uint16_t>(Op::kGetEnd), id, w.take()};
+  end.trace_id = trace;
+  exec_send(item, std::move(end));
 }
 
 }  // namespace aec::net

@@ -38,7 +38,16 @@
 // rejected,bytes_in,bytes_out}, per-opcode latency histograms
 // net.req.latency_us.<op> (queue wait + execution), and a "net.request"
 // trace span per executed request (a0 = opcode, a1 = request payload
-// bytes).
+// bytes) labelled with the opcode name and stamped with the frame's
+// trace id (falling back to the request id), so client and daemon spans
+// of one request share a correlation id.
+//
+// When `http_port` >= 0 a second, plain-HTTP listener joins the same
+// reactor: GET /metrics serves the Prometheus text exposition, GET
+// /healthz answers 200/503 from the health gauges, GET /trace dumps the
+// span ring as JSONL. Exposition is reactor-thread-only and reads
+// nothing but atomics (metric registry snapshots, the trace ring) — a
+// wedged archive executor can never wedge the health endpoint.
 #pragma once
 
 #include <chrono>
@@ -80,6 +89,9 @@ struct ServerConfig {
   int idle_timeout_ms = 60'000;       // 0 = never sweep
   int write_stall_timeout_ms = 10'000;
   int drain_timeout_ms = 10'000;
+  /// Observability HTTP listener (GET /metrics | /healthz | /trace).
+  /// -1 = disabled, 0 = kernel-chosen ephemeral port.
+  int http_port = -1;
 };
 
 class Server {
@@ -94,6 +106,8 @@ class Server {
 
   /// The actually bound port (resolves config.port == 0).
   std::uint16_t port() const noexcept { return port_; }
+  /// The bound observability HTTP port (0 when disabled).
+  std::uint16_t http_port() const noexcept { return http_port_; }
   /// The reactor, for wiring extra fds (aecd adds its signalfd).
   EventLoop& loop() noexcept { return loop_; }
 
@@ -139,6 +153,19 @@ class Server {
     Clock::time_point enqueued{};
   };
 
+  /// Reactor-thread-only HTTP exposition connection: one request in,
+  /// one response out, then close. No gate — responses are bounded
+  /// (metrics/trace snapshots) and never touch the executor.
+  struct HttpConn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string in;   // request bytes until the blank line
+    std::string out;  // encoded response
+    std::size_t out_off = 0;
+    bool responded = false;
+    Clock::time_point last_activity{};
+  };
+
   // --- reactor side (loop thread) ---------------------------------------
   void open_listener();
   void on_accept();
@@ -161,6 +188,17 @@ class Server {
   void sweep_idle();
   void check_drain();
 
+  // --- HTTP exposition (loop thread) -------------------------------------
+  void open_http_listener();
+  void on_http_accept();
+  void on_http_event(std::uint64_t conn_id, std::uint32_t events);
+  /// Parses the buffered request once complete and queues the response.
+  void http_respond(HttpConn& conn);
+  /// Writes queued response bytes; closes when done or on error.
+  void http_flush(HttpConn& conn);
+  void close_http_conn(std::uint64_t conn_id);
+  std::string http_body_healthz(int& status) const;
+
   // --- executor side ----------------------------------------------------
   void exec_push(ExecItem item);
   void executor_loop();
@@ -179,8 +217,11 @@ class Server {
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  int http_listen_fd_ = -1;
+  std::uint16_t http_port_ = 0;
   std::uint64_t next_conn_id_ = 1;
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<HttpConn>> http_conns_;
   std::size_t inflight_total_ = 0;  // loop thread only
   bool draining_ = false;
   Clock::time_point drain_deadline_{};
@@ -200,6 +241,13 @@ class Server {
   obs::Counter* req_bytes_in_;
   obs::Counter* req_bytes_out_;
   std::map<std::uint16_t, obs::Histogram*> req_latency_us_;
+  obs::Counter* http_requests_;
+  /// Health gauges read (atomically) by GET /healthz; shared with the
+  /// archive's HealthMonitor through the global registry.
+  obs::Gauge* health_vulnerable_;
+  obs::Gauge* health_data_missing_;
+  obs::Gauge* health_parity_missing_;
+  obs::Gauge* health_min_margin_;
 };
 
 }  // namespace aec::net

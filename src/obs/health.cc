@@ -1,0 +1,304 @@
+#include "obs/health.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/codec/repair_planner.h"
+
+namespace aec::obs {
+
+HealthMonitor::HealthMonitor(MetricsRegistry* registry, Logger* logger)
+    : registry_(registry),
+      logger_(logger),
+      g_data_missing_(registry->gauge("health.data_missing")),
+      g_parity_missing_(registry->gauge("health.parity_missing")),
+      g_degraded_(registry->gauge("health.degraded_blocks")),
+      g_vulnerable_(registry->gauge("health.vulnerable_blocks")),
+      g_min_margin_(registry->gauge("health.min_margin")),
+      c_deltas_(registry->counter("health.deltas")) {}
+
+void HealthMonitor::configure_lattice(const CodeParams& params,
+                                      std::uint64_t n_nodes) {
+  std::lock_guard lock(mu_);
+  params_ = params;
+  n_nodes_ = n_nodes;
+  if (n_nodes_ >= 1) {
+    lattice_.emplace(params, n_nodes_, Lattice::Boundary::kOpen);
+  } else {
+    lattice_.reset();
+  }
+  g_margin_counts_.clear();
+  for (std::uint32_t k = 0; k < params.alpha(); ++k) {
+    g_margin_counts_.push_back(registry_->gauge(
+        "health.margin" + std::to_string(k) + ".blocks"));
+  }
+  margin_counts_.assign(params.alpha(), 0);
+  rebuild_locked();
+  publish_locked();
+}
+
+void HealthMonitor::grow_to(std::uint64_t n_nodes) {
+  std::lock_guard lock(mu_);
+  if (!params_ || n_nodes <= n_nodes_) return;
+  n_nodes_ = n_nodes;
+  lattice_.emplace(*params_, n_nodes_, Lattice::Boundary::kOpen);
+  rebuild_locked();
+  publish_locked();
+}
+
+bool HealthMonitor::lattice_configured() const {
+  std::lock_guard lock(mu_);
+  return params_.has_value();
+}
+
+std::uint64_t HealthMonitor::n_nodes() const {
+  std::lock_guard lock(mu_);
+  return n_nodes_;
+}
+
+void HealthMonitor::on_availability_delta(const BlockKey& key, bool missing) {
+  std::lock_guard lock(mu_);
+  apply_delta_locked(key, missing);
+  publish_locked();
+}
+
+void HealthMonitor::reset_from(const AvailabilityIndex& index) {
+  // Collect before taking mu_: missing_sorted takes the index's stripe
+  // locks and the established lock order is stripe → health.
+  std::vector<BlockKey> keys = index.missing_sorted();
+  std::lock_guard lock(mu_);
+  missing_.clear();
+  missing_.insert(keys.begin(), keys.end());
+  rebuild_locked();
+  publish_locked();
+}
+
+std::uint32_t HealthMonitor::margin_of(NodeIndex i) const {
+  std::uint32_t margin = 0;
+  for (const StrandClass cls : params_->classes()) {
+    // Mirror of RepairPlanner::node_repairable's per-class test: the
+    // input parity (virtual zero at an open origin counts as present)
+    // and the output parity must both be available.
+    const auto input = lattice_->input_edge(i, cls);
+    const bool input_ok =
+        !input || !missing_.contains(BlockKey::parity(*input));
+    const bool output_ok = !missing_.contains(
+        BlockKey::parity(lattice_->output_edge(i, cls)));
+    if (input_ok && output_ok) ++margin;
+  }
+  return margin;
+}
+
+void HealthMonitor::set_tracked_margin(NodeIndex i,
+                                       std::optional<std::uint32_t> margin) {
+  const auto it = degraded_.find(i);
+  if (it != degraded_.end()) {
+    --margin_counts_[it->second];
+    degraded_.erase(it);
+  }
+  if (margin) {
+    degraded_.emplace(i, *margin);
+    ++margin_counts_[*margin];
+  }
+}
+
+void HealthMonitor::rescore(NodeIndex i) {
+  if (!lattice_ || !lattice_->is_valid_node(i)) return;
+  if (missing_.contains(BlockKey::data(i))) {
+    // Missing data is damage (counted separately), not a vulnerability
+    // candidate — it has no bytes left to protect.
+    set_tracked_margin(i, std::nullopt);
+    return;
+  }
+  const std::uint32_t margin = margin_of(i);
+  set_tracked_margin(i, margin < params_->alpha()
+                            ? std::optional<std::uint32_t>(margin)
+                            : std::nullopt);
+}
+
+void HealthMonitor::apply_delta_locked(const BlockKey& key, bool missing) {
+  if (missing)
+    missing_.insert(key);
+  else
+    missing_.erase(key);
+  c_deltas_->add();
+
+  if (!params_) {  // counts-only mode (non-lattice codecs)
+    auto& count = key.is_data() ? data_missing_ : parity_missing_;
+    missing ? ++count : --count;
+    return;
+  }
+  if (!lattice_expects(*params_, n_nodes_, key)) return;  // orphan key
+
+  if (key.is_data()) {
+    missing ? ++data_missing_ : --data_missing_;
+    if (missing)
+      set_tracked_margin(key.index, std::nullopt);
+    else
+      rescore(key.index);
+  } else {
+    missing ? ++parity_missing_ : --parity_missing_;
+    // A parity p_{i,j} is incident to exactly two data blocks: its tail
+    // i (whose output it is) and its head j (whose input it is) — the
+    // whole blast radius of this delta.
+    const Edge e = key.edge();
+    rescore(e.tail);
+    const NodeIndex head = lattice_->edge_head(e);
+    if (head != e.tail) rescore(head);
+  }
+}
+
+void HealthMonitor::rebuild_locked() {
+  degraded_.clear();
+  std::fill(margin_counts_.begin(), margin_counts_.end(), 0);
+  data_missing_ = 0;
+  parity_missing_ = 0;
+  if (!params_) {
+    for (const BlockKey& key : missing_) {
+      auto& count = key.is_data() ? data_missing_ : parity_missing_;
+      ++count;
+    }
+    return;
+  }
+  std::unordered_set<NodeIndex> affected;
+  for (const BlockKey& key : missing_) {
+    if (!lattice_expects(*params_, n_nodes_, key)) continue;
+    if (key.is_data()) {
+      ++data_missing_;
+    } else {
+      ++parity_missing_;
+      affected.insert(key.index);  // tail
+      const NodeIndex head = lattice_->edge_head(key.edge());
+      if (lattice_->is_valid_node(head)) affected.insert(head);
+    }
+  }
+  for (const NodeIndex i : affected) rescore(i);
+}
+
+void HealthMonitor::publish_locked() {
+  const std::uint64_t vulnerable =
+      margin_counts_.empty() ? 0 : margin_counts_[0];
+  std::uint32_t min_margin = params_ ? params_->alpha() : 0;
+  for (std::uint32_t k = 0; k < margin_counts_.size(); ++k) {
+    if (margin_counts_[k] != 0) {
+      min_margin = k;
+      break;
+    }
+  }
+  g_data_missing_->set(static_cast<std::int64_t>(data_missing_));
+  g_parity_missing_->set(static_cast<std::int64_t>(parity_missing_));
+  g_degraded_->set(static_cast<std::int64_t>(degraded_.size()));
+  g_vulnerable_->set(static_cast<std::int64_t>(vulnerable));
+  g_min_margin_->set(min_margin);
+  for (std::size_t k = 0; k < g_margin_counts_.size(); ++k) {
+    g_margin_counts_[k]->set(static_cast<std::int64_t>(margin_counts_[k]));
+  }
+
+  const bool vulnerable_now = vulnerable > 0;
+  if (vulnerable_now != was_vulnerable_) {
+    if (vulnerable_now) {
+      logger_->warn("health",
+                    std::to_string(vulnerable) +
+                        " data block(s) at margin 0: one more failure is "
+                        "unrecoverable");
+    } else {
+      logger_->info("health", "no vulnerable data blocks remain");
+    }
+    was_vulnerable_ = vulnerable_now;
+  }
+}
+
+HealthSummary HealthMonitor::summary() const {
+  std::lock_guard lock(mu_);
+  HealthSummary s;
+  s.lattice_mode = params_.has_value();
+  s.alpha = params_ ? params_->alpha() : 0;
+  s.n_nodes = n_nodes_;
+  s.data_missing = data_missing_;
+  s.parity_missing = parity_missing_;
+  s.degraded_blocks = degraded_.size();
+  s.vulnerable_blocks = margin_counts_.empty() ? 0 : margin_counts_[0];
+  s.min_margin = s.alpha;
+  s.margin_counts = margin_counts_;
+  for (std::uint32_t k = 0; k < margin_counts_.size(); ++k) {
+    if (margin_counts_[k] != 0) {
+      s.min_margin = k;
+      break;
+    }
+  }
+  return s;
+}
+
+std::vector<BlockHealth> HealthMonitor::worst(std::size_t n) const {
+  std::lock_guard lock(mu_);
+  std::vector<BlockHealth> out;
+  out.reserve(degraded_.size());
+  for (const auto& [index, margin] : degraded_) {
+    out.push_back(BlockHealth{index, margin});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BlockHealth& a, const BlockHealth& b) {
+              if (a.margin != b.margin) return a.margin < b.margin;
+              return a.index < b.index;
+            });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::string HealthSummary::to_json() const {
+  std::string out;
+  out += "{\"lattice\":";
+  out += lattice_mode ? "true" : "false";
+  out += ",\"alpha\":";
+  out += std::to_string(alpha);
+  out += ",\"n_nodes\":";
+  out += std::to_string(n_nodes);
+  out += ",\"data_missing\":";
+  out += std::to_string(data_missing);
+  out += ",\"parity_missing\":";
+  out += std::to_string(parity_missing);
+  out += ",\"degraded_blocks\":";
+  out += std::to_string(degraded_blocks);
+  out += ",\"vulnerable_blocks\":";
+  out += std::to_string(vulnerable_blocks);
+  out += ",\"min_margin\":";
+  out += std::to_string(min_margin);
+  out += ",\"margin_counts\":[";
+  for (std::size_t k = 0; k < margin_counts.size(); ++k) {
+    if (k) out += ',';
+    out += std::to_string(margin_counts[k]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<BlockHealth> compute_degraded_full(const CodeParams& params,
+                                               std::uint64_t n_nodes,
+                                               const AvailabilityIndex& index) {
+  std::vector<BlockHealth> out;
+  if (n_nodes == 0) return out;
+  const Lattice lattice(params, n_nodes, Lattice::Boundary::kOpen);
+  AvailabilityMap avail(params, n_nodes);
+  index.for_each_missing([&](const BlockKey& key) {
+    if (lattice_expects(params, n_nodes, key)) avail.set(key, false);
+  });
+  for (NodeIndex i = 1; static_cast<std::uint64_t>(i) <= n_nodes; ++i) {
+    if (!avail.data_ok(i)) continue;
+    std::uint32_t margin = 0;
+    for (const StrandClass cls : params.classes()) {
+      const auto input = lattice.input_edge(i, cls);
+      const bool input_ok = !input || avail.parity_ok(*input);
+      const bool output_ok = avail.parity_ok(lattice.output_edge(i, cls));
+      if (input_ok && output_ok) ++margin;
+    }
+    if (margin < params.alpha()) out.push_back(BlockHealth{i, margin});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BlockHealth& a, const BlockHealth& b) {
+              if (a.margin != b.margin) return a.margin < b.margin;
+              return a.index < b.index;
+            });
+  return out;
+}
+
+}  // namespace aec::obs

@@ -1,0 +1,164 @@
+// Live archive health: the paper's Fig. 12 vulnerable-data metric as a
+// continuously maintained, queryable signal instead of an offline
+// simulation output.
+//
+// A present data block's *margin* is the number of strand classes whose
+// two incident parities (input — or the virtual zero bootstrap near an
+// open origin — and output) are both available: exactly the per-class
+// test inside RepairPlanner::node_repairable. A block with margin 0 is
+// *vulnerable* — losing it now would be unrecoverable by any single-XOR
+// step (Fig. 12's "vulnerable data"); margin α means all α repair paths
+// survive. The monitor keeps per-block margins for every *degraded*
+// block (margin < α) and rolls them up into gauges:
+//
+//   health.data_missing / health.parity_missing   damage census
+//   health.degraded_blocks                        present, margin < α
+//   health.vulnerable_blocks                      present, margin == 0
+//   health.min_margin                             α when nothing degraded
+//   health.margin<k>.blocks                       degraded count at margin k
+//
+// Maintenance is incremental, O(damage) — the same discipline as the
+// AvailabilityIndex that feeds it: a parity delta re-scores only the two
+// data blocks incident to that edge; a data delta re-scores only itself.
+// The monitor mirrors the missing set internally so it never reenters
+// the index from the delta callback (lock order: index stripe mutex →
+// health mutex, never the reverse).
+//
+// The ranked worst-N query is the feed for ROADMAP item 2's
+// vulnerability-ranked background scrubber: repair candidates ordered by
+// distance-to-unrecoverable.
+//
+// Non-lattice codecs (RS/REP) run the monitor unconfigured: damage
+// counts only, no margins.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/codec/availability_index.h"
+#include "core/codec/block_key.h"
+#include "core/lattice/lattice.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace aec::obs {
+
+/// One degraded block in a ranked health report.
+struct BlockHealth {
+  NodeIndex index = 0;
+  std::uint32_t margin = 0;  // surviving repair paths, 0 = vulnerable
+
+  friend bool operator==(const BlockHealth&, const BlockHealth&) = default;
+};
+
+/// Point-in-time rollup (the `aectool stat` health block and the
+/// daemon's /healthz body).
+struct HealthSummary {
+  bool lattice_mode = false;  // margins meaningful (AE codec configured)
+  std::uint32_t alpha = 0;
+  std::uint64_t n_nodes = 0;
+  std::uint64_t data_missing = 0;
+  std::uint64_t parity_missing = 0;
+  std::uint64_t degraded_blocks = 0;
+  std::uint64_t vulnerable_blocks = 0;
+  /// α (or 0 unconfigured) when nothing is degraded.
+  std::uint32_t min_margin = 0;
+  /// Degraded-block count per margin value in [0, α).
+  std::vector<std::uint64_t> margin_counts;
+
+  bool degraded() const noexcept {
+    return data_missing + parity_missing != 0;
+  }
+
+  /// {"lattice":…,"alpha":…,…,"margin_counts":[…]} — embedded in
+  /// Archive::stat_json.
+  std::string to_json() const;
+};
+
+class HealthMonitor final : public AvailabilityIndex::Listener {
+ public:
+  explicit HealthMonitor(
+      MetricsRegistry* registry = &MetricsRegistry::global(),
+      Logger* logger = &Logger::global());
+
+  /// Enables margin tracking for an AE lattice of `n_nodes` data blocks.
+  /// Until called the monitor only counts missing blocks by kind.
+  void configure_lattice(const CodeParams& params, std::uint64_t n_nodes);
+
+  /// Extends the lattice as the archive grows (ingest appends nodes).
+  /// Missing parities whose head lands on a new node re-score it —
+  /// O(damage), not O(new nodes). Shrinking is ignored.
+  void grow_to(std::uint64_t n_nodes);
+
+  bool lattice_configured() const;
+  std::uint64_t n_nodes() const;
+
+  /// AvailabilityIndex delta hook. Runs under the index's stripe lock:
+  /// updates the mirror, re-scores at most two blocks, publishes gauges.
+  void on_availability_delta(const BlockKey& key, bool missing) override;
+
+  /// Rebuilds all state from the index's current missing set —
+  /// O(damage). The index must be quiescent (Archive open/reindex call
+  /// this after reseeding).
+  void reset_from(const AvailabilityIndex& index);
+
+  HealthSummary summary() const;
+
+  /// The `n` most vulnerable present data blocks, ascending margin (ties
+  /// by index) — the scrubber's priority order.
+  std::vector<BlockHealth> worst(std::size_t n) const;
+
+  /// Every degraded block, same order as worst() (test oracle hook).
+  std::vector<BlockHealth> degraded_all() const { return worst(SIZE_MAX); }
+
+ private:
+  std::uint32_t margin_of(NodeIndex i) const;  // mu_ held, lattice set
+  void rescore(NodeIndex i);                   // mu_ held, lattice set
+  void set_tracked_margin(NodeIndex i,
+                          std::optional<std::uint32_t> margin);  // mu_ held
+  void apply_delta_locked(const BlockKey& key, bool missing);
+  /// Recomputes counts + degraded set from the mirror (configure/grow/
+  /// reset paths). O(|missing_|).
+  void rebuild_locked();
+  void publish_locked();
+
+  MetricsRegistry* registry_;
+  Logger* logger_;
+
+  mutable std::mutex mu_;
+  std::optional<CodeParams> params_;
+  std::uint64_t n_nodes_ = 0;
+  std::optional<Lattice> lattice_;  // absent until configured with n ≥ 1
+  /// Mirror of the index's missing set, including keys outside the
+  /// current lattice (they become relevant when the archive grows).
+  std::unordered_set<BlockKey, BlockKeyHash> missing_;
+  /// Present data blocks with margin < α.
+  std::unordered_map<NodeIndex, std::uint32_t> degraded_;
+  std::vector<std::uint64_t> margin_counts_;  // [0, α)
+  std::uint64_t data_missing_ = 0;
+  std::uint64_t parity_missing_ = 0;
+  bool was_vulnerable_ = false;
+
+  Gauge* g_data_missing_;
+  Gauge* g_parity_missing_;
+  Gauge* g_degraded_;
+  Gauge* g_vulnerable_;
+  Gauge* g_min_margin_;
+  std::vector<Gauge*> g_margin_counts_;  // registered at configure time
+  Counter* c_deltas_;
+};
+
+/// Brute-force full-lattice recomputation of the degraded set (every
+/// present data node scored from scratch) — the randomized-test oracle
+/// and bench_health_scan's full-rescan baseline. Output order matches
+/// HealthMonitor::worst.
+std::vector<BlockHealth> compute_degraded_full(const CodeParams& params,
+                                               std::uint64_t n_nodes,
+                                               const AvailabilityIndex& index);
+
+}  // namespace aec::obs

@@ -1,0 +1,128 @@
+#include "obs/log.h"
+
+#include <chrono>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace aec::obs {
+
+namespace {
+
+std::uint64_t wall_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t steady_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
+Logger::Logger(std::FILE* sink) : sink_(sink) {}
+
+void Logger::set_min_level(LogLevel level) {
+  std::lock_guard lock(mu_);
+  min_level_ = level;
+}
+
+LogLevel Logger::min_level() const {
+  std::lock_guard lock(mu_);
+  return min_level_;
+}
+
+void Logger::set_sink(std::FILE* sink) {
+  std::lock_guard lock(mu_);
+  sink_ = sink;
+}
+
+void Logger::set_rate_limit_ms(std::uint64_t ms) {
+  std::lock_guard lock(mu_);
+  rate_limit_ms_ = ms;
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view msg, std::uint64_t request_id) {
+  std::lock_guard lock(mu_);
+  if (level < min_level_) return;
+
+  std::uint64_t suppressed = 0;
+  if (rate_limit_ms_ > 0) {
+    std::string key;
+    key.reserve(component.size() + msg.size() + 1);
+    key.append(component);
+    key.push_back('\x1f');
+    key.append(msg);
+    if (recent_.size() > kMaxKeys) recent_.clear();
+    Suppression& entry = recent_[std::move(key)];
+    const std::uint64_t now_us = steady_us();
+    if (entry.last_emit_us != 0 &&
+        now_us - entry.last_emit_us < rate_limit_ms_ * 1000) {
+      ++entry.suppressed;
+      ++lines_suppressed_;
+      MetricsRegistry::global().counter("log.suppressed")->add();
+      return;
+    }
+    suppressed = entry.suppressed;
+    entry.suppressed = 0;
+    entry.last_emit_us = now_us;
+  }
+
+  std::string line;
+  line.reserve(96 + component.size() + msg.size());
+  line += "{\"ts_ms\":";
+  line += std::to_string(wall_ms());
+  line += ",\"level\":\"";
+  line += to_string(level);
+  line += "\",\"component\":\"";
+  json_escape_to(line, component);
+  line += "\",\"msg\":\"";
+  json_escape_to(line, msg);
+  line += '"';
+  if (request_id != 0) {
+    line += ",\"request_id\":";
+    line += std::to_string(request_id);
+  }
+  if (suppressed != 0) {
+    line += ",\"suppressed\":";
+    line += std::to_string(suppressed);
+  }
+  line += "}\n";
+  std::fwrite(line.data(), 1, line.size(), sink_);
+  std::fflush(sink_);
+  ++lines_written_;
+  MetricsRegistry::global().counter("log.lines")->add();
+}
+
+std::uint64_t Logger::lines_written() const {
+  std::lock_guard lock(mu_);
+  return lines_written_;
+}
+
+std::uint64_t Logger::lines_suppressed() const {
+  std::lock_guard lock(mu_);
+  return lines_suppressed_;
+}
+
+Logger& Logger::global() {
+  static Logger* logger = new Logger();  // never destroyed
+  return *logger;
+}
+
+}  // namespace aec::obs

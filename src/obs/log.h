@@ -1,0 +1,106 @@
+// Structured leveled logging: one JSON object per line on a FILE sink
+// (stderr by default), with per-message rate limiting so a failure loop
+// cannot flood an operator's log pipeline.
+//
+// Line shape:
+//   {"ts_ms":1712345678901,"level":"warn","component":"aecd",
+//    "msg":"...","request_id":7,"suppressed":12}
+// `request_id` is omitted when 0; `suppressed` appears only when earlier
+// identical lines were dropped by the rate limiter and carries how many.
+//
+// Rate limiting is keyed on (component, msg): a repeat inside the
+// suppression window (default 1 s) is counted, not written, and the next
+// line that does get through reports the count. State is bounded — the
+// key table is cleared when it outgrows its cap, which at worst forgets
+// some suppression counts.
+//
+// Thread-safe: one mutex around the key table and the sink write (lines
+// are written with a single fwrite, so sinks shared with other writers
+// never interleave mid-line). This is control-plane logging — daemon
+// lifecycle, health transitions, connection errors — not a per-block
+// hot path.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace aec::obs {
+
+enum class LogLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// "debug", "info", "warn" or "error".
+const char* to_string(LogLevel level) noexcept;
+
+class Logger {
+ public:
+  explicit Logger(std::FILE* sink = stderr);
+
+  /// Lines below this level are dropped (default kInfo).
+  void set_min_level(LogLevel level);
+  LogLevel min_level() const;
+
+  /// Redirects output (tests; aecd --log-file). Not owned.
+  void set_sink(std::FILE* sink);
+
+  /// Suppression window for identical (component, msg) repeats, in ms.
+  /// 0 disables rate limiting.
+  void set_rate_limit_ms(std::uint64_t ms);
+
+  /// Emits one JSONL line (component and msg are escaped). request_id 0
+  /// means "not tied to a request" and is omitted from the line.
+  void log(LogLevel level, std::string_view component, std::string_view msg,
+           std::uint64_t request_id = 0);
+
+  void debug(std::string_view component, std::string_view msg,
+             std::uint64_t request_id = 0) {
+    log(LogLevel::kDebug, component, msg, request_id);
+  }
+  void info(std::string_view component, std::string_view msg,
+            std::uint64_t request_id = 0) {
+    log(LogLevel::kInfo, component, msg, request_id);
+  }
+  void warn(std::string_view component, std::string_view msg,
+            std::uint64_t request_id = 0) {
+    log(LogLevel::kWarn, component, msg, request_id);
+  }
+  void error(std::string_view component, std::string_view msg,
+             std::uint64_t request_id = 0) {
+    log(LogLevel::kError, component, msg, request_id);
+  }
+
+  /// Lines actually written / dropped by the rate limiter since
+  /// construction (monotonic; for tests and the log.* metrics rows).
+  std::uint64_t lines_written() const;
+  std::uint64_t lines_suppressed() const;
+
+  /// The process-wide logger every built-in component uses.
+  static Logger& global();
+
+ private:
+  struct Suppression {
+    std::uint64_t last_emit_us = 0;
+    std::uint64_t suppressed = 0;
+  };
+
+  /// Keeps the suppression table bounded; at worst forgets counts.
+  static constexpr std::size_t kMaxKeys = 512;
+
+  mutable std::mutex mu_;
+  std::FILE* sink_;
+  LogLevel min_level_ = LogLevel::kInfo;
+  std::uint64_t rate_limit_ms_ = 1000;
+  std::unordered_map<std::string, Suppression> recent_;
+  std::uint64_t lines_written_ = 0;
+  std::uint64_t lines_suppressed_ = 0;
+};
+
+}  // namespace aec::obs

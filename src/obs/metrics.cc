@@ -119,6 +119,27 @@ MetricsRegistry& MetricsRegistry::global() {
   return *registry;
 }
 
+double MetricRow::quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  double cum = 0.0;
+  double lower = 0.0;
+  for (const auto& [bound, bucket_count] : buckets) {
+    if (bucket_count > 0 && cum + static_cast<double>(bucket_count) >= rank) {
+      if (bound == Histogram::kInf) return lower;  // clamp: no upper edge
+      double frac = (rank - cum) / static_cast<double>(bucket_count);
+      if (frac < 0.0) frac = 0.0;
+      if (frac > 1.0) frac = 1.0;
+      return lower + (static_cast<double>(bound) - lower) * frac;
+    }
+    cum += static_cast<double>(bucket_count);
+    if (bound != Histogram::kInf) lower = static_cast<double>(bound);
+  }
+  return lower;
+}
+
 std::string MetricsSnapshot::to_json() const {
   std::ostringstream out;
   out << "{\"schema_version\":1,\"metrics\":[";
@@ -136,7 +157,9 @@ std::string MetricsSnapshot::to_json() const {
         break;
       case MetricRow::Type::kHistogram: {
         out << ",\"type\":\"histogram\",\"count\":" << row.count
-            << ",\"sum\":" << row.sum << ",\"buckets\":[";
+            << ",\"sum\":" << row.sum << ",\"p50\":" << row.quantile(0.50)
+            << ",\"p90\":" << row.quantile(0.90)
+            << ",\"p99\":" << row.quantile(0.99) << ",\"buckets\":[";
         bool bfirst = true;
         for (const auto& [bound, count] : row.buckets) {
           if (!bfirst) out << ',';
@@ -156,6 +179,51 @@ std::string MetricsSnapshot::to_json() const {
     out << '}';
   }
   out << "]}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  auto sanitize = [](const std::string& name) {
+    std::string out = "aec_";
+    out.reserve(name.size() + 4);
+    for (const char ch : name) {
+      const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                      (ch >= '0' && ch <= '9');
+      out += ok ? ch : '_';
+    }
+    return out;
+  };
+  std::ostringstream out;
+  for (const auto& row : rows) {
+    const std::string name = sanitize(row.name);
+    switch (row.type) {
+      case MetricRow::Type::kCounter:
+        out << "# TYPE " << name << " counter\n"
+            << name << ' ' << row.value << '\n';
+        break;
+      case MetricRow::Type::kGauge:
+        out << "# TYPE " << name << " gauge\n"
+            << name << ' ' << row.level << '\n';
+        break;
+      case MetricRow::Type::kHistogram: {
+        out << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (const auto& [bound, count] : row.buckets) {
+          cumulative += count;
+          out << name << "_bucket{le=\"";
+          if (bound == Histogram::kInf) {
+            out << "+Inf";
+          } else {
+            out << bound;
+          }
+          out << "\"} " << cumulative << '\n';
+        }
+        out << name << "_sum " << row.sum << '\n'
+            << name << "_count " << row.count << '\n';
+        break;
+      }
+    }
+  }
   return out.str();
 }
 

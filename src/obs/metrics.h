@@ -128,6 +128,12 @@ struct MetricRow {
   std::uint64_t sum = 0;    // histogram sample sum
   /// (upper bound, count) per bucket; bound kInf = overflow.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  /// Derived quantile estimate for histogram rows (q in [0, 1]): linear
+  /// interpolation inside the bucket holding the q-th sample, clamped to
+  /// the overflow bucket's lower bound (the last finite upper bound)
+  /// when the sample lands there. 0 when the histogram is empty.
+  double quantile(double q) const;
 };
 
 /// Point-in-time registry dump, name-sorted.
@@ -135,7 +141,16 @@ struct MetricsSnapshot {
   std::vector<MetricRow> rows;
 
   /// One JSON object: {"schema_version":1,"metrics":[{...},...]}.
+  /// Histogram rows carry derived p50/p90/p99 alongside the raw buckets
+  /// so stat --json / the daemon METRICS op report percentiles directly.
   std::string to_json() const;
+
+  /// Prometheus text exposition format (v0.0.4): dots in metric names
+  /// become underscores under an "aec_" prefix, histograms render
+  /// cumulative `_bucket{le="…"}` series (the registry stores per-bucket
+  /// counts) plus `_sum`/`_count`, gauges/counters one sample each.
+  /// Served by aecd's GET /metrics.
+  std::string to_prometheus() const;
   /// Human table ("aectool stat --metrics"). Zero-valued rows are kept:
   /// an instrumented-but-idle subsystem is information too.
   void print(std::FILE* out) const;

@@ -1,6 +1,18 @@
 #include "obs/trace.h"
 
+#include <cstring>
+
+#include "common/json.h"
+
 namespace aec::obs {
+
+void TraceEvent::set_label(std::string_view text) noexcept {
+  const std::size_t n = text.size() < kLabelCapacity - 1
+                            ? text.size()
+                            : kLabelCapacity - 1;
+  std::memcpy(label, text.data(), n);
+  label[n] = '\0';
+}
 
 TraceRing::TraceRing(std::size_t capacity)
     : capacity_(capacity ? capacity : 1) {}
@@ -55,22 +67,52 @@ std::uint64_t TraceRing::now_us() const {
       std::chrono::duration_cast<std::chrono::microseconds>(delta).count());
 }
 
-void TraceRing::dump_jsonl(std::FILE* out) const {
+std::string TraceRing::dump_jsonl_string(std::uint64_t request_id) const {
   const auto evs = events();
+  std::string out;
+  std::size_t emitted = 0;
   for (const auto& ev : evs) {
-    std::fprintf(out,
-                 "{\"schema_version\":1,\"name\":\"%s\",\"start_us\":%llu,"
-                 "\"dur_us\":%llu,\"tid\":%u,\"a0\":%llu,\"a1\":%llu}\n",
-                 ev.name, static_cast<unsigned long long>(ev.start_us),
-                 static_cast<unsigned long long>(ev.dur_us), ev.tid,
-                 static_cast<unsigned long long>(ev.a0),
-                 static_cast<unsigned long long>(ev.a1));
+    if (request_id != 0 && ev.req != request_id) continue;
+    ++emitted;
+    out += "{\"schema_version\":1,\"name\":\"";
+    // Names are string literals by contract, but escape anyway — and the
+    // label is user-supplied text (file names), so escaping it is
+    // correctness, not hygiene.
+    json_escape_to(out, ev.name);
+    out += "\",\"start_us\":";
+    out += std::to_string(ev.start_us);
+    out += ",\"dur_us\":";
+    out += std::to_string(ev.dur_us);
+    out += ",\"tid\":";
+    out += std::to_string(ev.tid);
+    out += ",\"a0\":";
+    out += std::to_string(ev.a0);
+    out += ",\"a1\":";
+    out += std::to_string(ev.a1);
+    if (ev.req != 0) {
+      out += ",\"req\":";
+      out += std::to_string(ev.req);
+    }
+    if (ev.label[0] != '\0') {
+      out += ",\"label\":\"";
+      json_escape_to(out, ev.label);
+      out += '"';
+    }
+    out += "}\n";
   }
-  std::fprintf(out,
-               "{\"schema_version\":1,\"trace_summary\":{\"events\":%zu,"
-               "\"dropped\":%llu,\"capacity\":%zu}}\n",
-               evs.size(), static_cast<unsigned long long>(dropped()),
-               capacity_);
+  out += "{\"schema_version\":1,\"trace_summary\":{\"events\":";
+  out += std::to_string(emitted);
+  out += ",\"dropped\":";
+  out += std::to_string(dropped());
+  out += ",\"capacity\":";
+  out += std::to_string(capacity_);
+  out += "}}\n";
+  return out;
+}
+
+void TraceRing::dump_jsonl(std::FILE* out, std::uint64_t request_id) const {
+  const std::string text = dump_jsonl_string(request_id);
+  std::fwrite(text.data(), 1, text.size(), out);
 }
 
 TraceRing& TraceRing::global() {

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace aec::obs {
@@ -27,6 +29,10 @@ namespace aec::obs {
 /// outlive the ring) — events store the pointer, not a copy, keeping
 /// record() allocation-free.
 struct TraceEvent {
+  /// NUL-terminated truncating copy of a free-form label (file name,
+  /// op name). User-supplied text lands here — dump_jsonl escapes it.
+  static constexpr std::size_t kLabelCapacity = 48;
+
   const char* name = "";
   std::uint64_t start_us = 0;  // µs since ring enable (steady clock)
   std::uint64_t dur_us = 0;
@@ -35,6 +41,12 @@ struct TraceEvent {
   /// meaning is per span name, documented in README § Observability.
   std::uint64_t a0 = 0;
   std::uint64_t a1 = 0;
+  /// Request/trace id (0 = none): the wire-propagated correlation id, so
+  /// client and daemon spans of one request line up in merged dumps.
+  std::uint64_t req = 0;
+  char label[kLabelCapacity] = {};
+
+  void set_label(std::string_view text) noexcept;
 };
 
 /// Bounded ring of TraceEvents with an atomic enable flag.
@@ -65,9 +77,15 @@ class TraceRing {
   /// Writes one JSON object per event:
   ///   {"schema_version":1,"name":…,"start_us":…,"dur_us":…,"tid":…,
   ///    "a0":…,"a1":…}
-  /// plus a final {"schema_version":1,"trace_summary":…} line carrying
-  /// event/drop totals.
-  void dump_jsonl(std::FILE* out) const;
+  /// with "req"/"label" appended when set (label is json-escaped — it
+  /// carries user-supplied file names), plus a final
+  /// {"schema_version":1,"trace_summary":…} line carrying event/drop
+  /// totals. `request_id` != 0 keeps only events stamped with that id
+  /// ("aectool trace --request-id").
+  void dump_jsonl(std::FILE* out, std::uint64_t request_id = 0) const;
+
+  /// dump_jsonl into a string (the daemon's GET /trace body).
+  std::string dump_jsonl_string(std::uint64_t request_id = 0) const;
 
   /// The process-wide ring every built-in span uses (disabled until
   /// something — aectool trace, a test — enables it).
@@ -107,15 +125,25 @@ class TraceSpan {
     a1_ = a1;
   }
 
+  /// Correlation id for cross-process request matching (0 = none).
+  void set_request_id(std::uint64_t id) noexcept { req_ = id; }
+
+  /// Free-form label (truncated to TraceEvent::kLabelCapacity − 1).
+  /// No-op on an inert span, so labelling costs nothing while disabled.
+  void set_label(std::string_view text) noexcept {
+    if (armed_) label_.set_label(text);
+  }
+
   ~TraceSpan() {
     if (!armed_) return;
-    TraceEvent ev;
+    TraceEvent ev = label_;  // carries the label bytes
     ev.name = name_;
     ev.start_us = start_us_;
     ev.dur_us = ring_->now_us() - start_us_;
     ev.tid = thread_ordinal();
     ev.a0 = a0_;
     ev.a1 = a1_;
+    ev.req = req_;
     ring_->record(ev);
   }
 
@@ -129,6 +157,8 @@ class TraceSpan {
   std::uint64_t start_us_ = 0;
   std::uint64_t a0_ = 0;
   std::uint64_t a1_ = 0;
+  std::uint64_t req_ = 0;
+  TraceEvent label_;  // scratch event holding only the label bytes
 };
 
 }  // namespace aec::obs

@@ -83,7 +83,8 @@ using namespace aec::tools;
       "  trace <scrub|get|put> [--name NAME] [--threads N] [-o OUT] "
       "[FILE]\n"
       "          run the operation with span tracing on, dump spans "
-      "as JSONL\n");
+      "as JSONL\n"
+      "          [--request-id N]  keep only spans stamped with id N\n");
   std::exit(2);
 }
 
@@ -106,7 +107,7 @@ const std::set<std::string>& allowed_options(const std::string& command) {
       {"damage", {"--root", "--fraction", "--seed"}},
       {"reindex", {"--root"}},
       {"node", {"--root", "--node", "--threads"}},
-      {"trace", {"--root", "--name", "--threads", "--out"}},
+      {"trace", {"--root", "--name", "--threads", "--out", "--request-id"}},
   };
   const auto it = allowed.find(command);
   if (it == allowed.end()) {
@@ -359,6 +360,26 @@ int run(const Args& args) {
                 static_cast<unsigned long long>(expected_total));
     std::printf("missing     : %llu blocks\n",
                 static_cast<unsigned long long>(archive->missing_blocks()));
+    const obs::HealthSummary health = archive->health().summary();
+    if (health.lattice_mode) {
+      std::printf("health      : %llu degraded, %llu vulnerable, "
+                  "min margin %u/%u\n",
+                  static_cast<unsigned long long>(health.degraded_blocks),
+                  static_cast<unsigned long long>(health.vulnerable_blocks),
+                  health.min_margin, health.alpha);
+      const auto worst = archive->health().worst(5);
+      if (!worst.empty()) {
+        std::printf("  worst     :");
+        for (const obs::BlockHealth& b : worst)
+          std::printf(" d%llu(m%u)",
+                      static_cast<unsigned long long>(b.index), b.margin);
+        std::printf("\n");
+      }
+    } else if (health.degraded()) {
+      std::printf("health      : %llu data + %llu parity block(s) missing\n",
+                  static_cast<unsigned long long>(health.data_missing),
+                  static_cast<unsigned long long>(health.parity_missing));
+    }
     if (want_metrics) {
       std::printf("metrics:\n");
       archive->metrics().print(stdout);
@@ -516,13 +537,17 @@ int run(const Args& args) {
       usage();
     }
     ring.disable();
+    std::uint64_t request_id = 0;
+    if (const auto id_it = args.options.find("--request-id");
+        id_it != args.options.end())
+      request_id = std::stoull(id_it->second);
     const auto out_it = args.options.find("--out");
     if (out_it == args.options.end()) {
-      ring.dump_jsonl(stdout);
+      ring.dump_jsonl(stdout, request_id);
     } else {
       std::FILE* out = std::fopen(out_it->second.c_str(), "w");
       AEC_CHECK_MSG(out != nullptr, "cannot write " << out_it->second);
-      ring.dump_jsonl(out);
+      ring.dump_jsonl(out, request_id);
       std::fclose(out);
       std::fprintf(stderr, "trace: %zu span(s) written to %s\n",
                    ring.events().size(), out_it->second.c_str());

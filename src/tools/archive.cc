@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/cpu.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "core/codec/store_registry.h"
@@ -29,31 +30,6 @@ std::string hex_encode(const std::string& s) {
     const auto c = static_cast<unsigned char>(ch);
     out.push_back(digits[c >> 4]);
     out.push_back(digits[c & 0xF]);
-  }
-  return out;
-}
-
-std::string json_escape(const std::string& s) {
-  static const char* digits = "0123456789abcdef";
-  std::string out;
-  out.reserve(s.size());
-  for (const char ch : s) {
-    const auto c = static_cast<unsigned char>(ch);
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (c < 0x20) {  // remaining control chars need \u00XX
-          out += "\\u00";
-          out.push_back(digits[c >> 4]);
-          out.push_back(digits[c & 0xF]);
-        } else {
-          out.push_back(ch);
-        }
-    }
   }
   return out;
 }
@@ -227,6 +203,9 @@ void FileWriter::flush_windows() {
     // keeps only the current window plus the codec's heads in memory.
     archive_->store_->drop_payload_cache();
   }
+  // Margins of earlier blocks can change when a missing parity's head
+  // edge lands on newly appended nodes — O(damage) catch-up.
+  archive_->health_.grow_to(archive_->session_->size());
 }
 
 const FileEntry& FileWriter::close() {
@@ -255,6 +234,7 @@ const FileEntry& FileWriter::close() {
   archive.files_.push_back(std::move(entry));
   archive.writer_open_ = false;
   archive_ = nullptr;
+  archive.health_.grow_to(archive.session_->size());
   archive.save_manifest();
   return archive.files_.back();
 }
@@ -342,7 +322,10 @@ Archive::Archive(fs::path root, std::shared_ptr<const Codec> codec,
     session_store_ = locked_store_.get();
   }
   // Observe before the session touches the store, so every mutation
-  // (including resume-time tail healing) flows into the index…
+  // (including resume-time tail healing) flows into the index — and hook
+  // the health monitor onto the index first, so those same deltas stream
+  // into the vulnerability scores.
+  avail_index_.set_delta_listener(&health_);
   store_->set_observer(&avail_index_);
   session_ = engine_->open_session(codec_, session_store_, block_size_,
                                    resume_count);
@@ -354,6 +337,12 @@ Archive::Archive(fs::path root, std::shared_ptr<const Codec> codec,
   opened_from_sidecar_ = load_availability_sidecar();
   if (!opened_from_sidecar_) seed_availability_index();
   session_->attach_availability_index(&avail_index_);
+  // Margin tracking needs the lattice geometry — AE archives only; other
+  // codecs keep damage counts. reset_from is authoritative: clear() above
+  // does not notify the listener, so replay the final missing set.
+  if (const auto* ae = dynamic_cast<const AeCodec*>(codec_.get()))
+    health_.configure_lattice(ae->params(), session_->size());
+  health_.reset_from(avail_index_);
 }
 
 Archive::~Archive() {
@@ -608,6 +597,22 @@ std::string Archive::stat_json(bool include_metrics) const {
     out += ",\"missing\":" + std::to_string(row.missing) + "}";
   }
   out += "],\"missing\":" + std::to_string(missing_blocks());
+  // Live vulnerability telemetry (the paper's Fig. 12 metric): rollup
+  // gauges plus the worst-margin blocks ranked by distance-to-
+  // unrecoverable — the order a scrubber should visit them in.
+  health_.grow_to(session_->size());
+  std::string health_json = health_.summary().to_json();
+  health_json.pop_back();  // reopen the object to splice the ranking in
+  health_json += ",\"worst\":[";
+  bool hfirst = true;
+  for (const obs::BlockHealth& b : health_.worst(10)) {
+    if (!hfirst) health_json += ',';
+    hfirst = false;
+    health_json += "{\"block\":" + std::to_string(b.index) +
+                   ",\"margin\":" + std::to_string(b.margin) + "}";
+  }
+  health_json += "]}";
+  out += ",\"health\":" + health_json;
   if (include_metrics) out += ",\"metrics\":" + metrics().to_json();
   out += "}";
   return out;
@@ -760,6 +765,9 @@ std::uint64_t Archive::reindex() {
   store_->rescan();
   avail_index_.clear();
   seed_availability_index();
+  // clear() bypasses the delta listener by design; rebuild the health
+  // state from the reseeded index.
+  health_.reset_from(avail_index_);
   return missing_blocks();
 }
 

@@ -67,6 +67,7 @@
 #include "cluster/cluster_store.h"
 #include "core/codec/availability_index.h"
 #include "core/codec/block_store.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "pipeline/concurrent_block_store.h"
 
@@ -237,6 +238,11 @@ class Archive {
   const AvailabilityIndex& availability_index() const noexcept {
     return avail_index_;
   }
+  /// Live vulnerability telemetry (AE archives score per-block repair
+  /// margins; other codecs get damage counts only). Fed incrementally by
+  /// the availability index's delta stream.
+  const obs::HealthMonitor& health() const noexcept { return health_; }
+  obs::HealthMonitor& health() noexcept { return health_; }
 
   /// Opens a streaming writer for a new file. Name must be unique; only
   /// one writer may be open at a time (file blocks are consecutive).
@@ -343,6 +349,10 @@ class Archive {
   /// begin_file). Lookups (read_file, begin_file, open_reader) are O(1)
   /// instead of a per-call scan of every entry.
   std::unordered_map<std::string, std::size_t> file_index_;
+  /// Per-block vulnerability scores, fed by avail_index_'s delta stream.
+  /// Declared before the index so it outlives the index's notifications
+  /// (mutable: stat_json lazily catches margins up to archive growth).
+  mutable obs::HealthMonitor health_;
   /// Mutation-fed missing-block set; observer of store_. Declared before
   /// the store so it outlives the store's notifications.
   AvailabilityIndex avail_index_;

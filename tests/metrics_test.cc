@@ -282,6 +282,125 @@ TEST(TraceTest, DumpJsonlEmitsOneLinePerEventPlusSummary) {
   EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 2);
 }
 
+// --- quantiles --------------------------------------------------------------
+
+TEST(MetricsTest, QuantileInterpolatesWithinBucket) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("q.us", {10, 100, 1000});
+  // 10 samples in (0, 10], nothing else: the q-th sample interpolates
+  // linearly across [0, 10].
+  for (int i = 0; i < 10; ++i) h->observe(5);
+  MetricRow row = reg.snapshot().rows[0];
+  EXPECT_DOUBLE_EQ(row.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(row.quantile(1.0), 10.0);
+  // Add 10 samples in (10, 100]: p50 sits at the bucket boundary, p75
+  // halfway into the second bucket's [10, 100] span.
+  for (int i = 0; i < 10; ++i) h->observe(50);
+  row = reg.snapshot().rows[0];
+  EXPECT_DOUBLE_EQ(row.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(row.quantile(0.75), 55.0);
+}
+
+TEST(MetricsTest, QuantileClampsToLastFiniteBoundInOverflow) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("q.us", {10, 100});
+  h->observe(5000);  // overflow bucket only
+  const MetricRow row = reg.snapshot().rows[0];
+  // No upper edge to interpolate against: report the overflow bucket's
+  // lower bound rather than inventing a number.
+  EXPECT_DOUBLE_EQ(row.quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(row.quantile(0.99), 100.0);
+}
+
+TEST(MetricsTest, QuantileOnEmptyHistogramIsZero) {
+  MetricsRegistry reg;
+  reg.histogram("q.us", {10});
+  EXPECT_DOUBLE_EQ(reg.snapshot().rows[0].quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, JsonSnapshotCarriesPercentiles) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("lat.us", {10, 100});
+  for (int i = 0; i < 4; ++i) h->observe(5);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+}
+
+// --- prometheus exposition --------------------------------------------------
+
+TEST(MetricsTest, PrometheusExpositionFormat) {
+  MetricsRegistry reg;
+  reg.counter("net.requests")->add(5);
+  reg.gauge("health.min_margin")->set(-1);
+  Histogram* h = reg.histogram("repair.wave_us", {10, 100});
+  h->observe(7);
+  h->observe(50);
+  h->observe(5000);
+  const std::string text = reg.snapshot().to_prometheus();
+  // Names: dots → underscores under the aec_ prefix, one TYPE line per
+  // family.
+  EXPECT_NE(text.find("# TYPE aec_net_requests counter\n"
+                      "aec_net_requests 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE aec_health_min_margin gauge\n"
+                      "aec_health_min_margin -1\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and end in +Inf == _count.
+  EXPECT_NE(text.find("aec_repair_wave_us_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aec_repair_wave_us_bucket{le=\"100\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aec_repair_wave_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aec_repair_wave_us_sum 5057\n"), std::string::npos);
+  EXPECT_NE(text.find("aec_repair_wave_us_count 3\n"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+// --- dump filtering & escaping ---------------------------------------------
+
+TEST(TraceTest, DumpJsonlEscapesUserSuppliedLabels) {
+  TraceRing ring(8);
+  ring.enable();
+  {
+    TraceSpan span(ring, "op");
+    span.set_label("a\"b\\c\nd");  // user-controlled file name
+  }
+  ring.disable();
+  const std::string dump = ring.dump_jsonl_string();
+  // The raw bytes must not survive unescaped — a quote in a file name
+  // must not terminate the JSON string early.
+  EXPECT_NE(dump.find("\"label\":\"a\\\"b\\\\c\\nd\""), std::string::npos);
+  EXPECT_EQ(dump.find("a\"b"), std::string::npos);
+}
+
+TEST(TraceTest, DumpJsonlFiltersByRequestId) {
+  TraceRing ring(8);
+  ring.enable();
+  {
+    TraceSpan span(ring, "keep");
+    span.set_request_id(77);
+  }
+  {
+    TraceSpan span(ring, "drop");
+    span.set_request_id(88);
+  }
+  { TraceSpan span(ring, "untagged"); }
+  ring.disable();
+  const std::string all = ring.dump_jsonl_string();
+  EXPECT_NE(all.find("\"name\":\"keep\""), std::string::npos);
+  EXPECT_NE(all.find("\"name\":\"drop\""), std::string::npos);
+  const std::string filtered = ring.dump_jsonl_string(77);
+  EXPECT_NE(filtered.find("\"name\":\"keep\""), std::string::npos);
+  EXPECT_NE(filtered.find("\"req\":77"), std::string::npos);
+  EXPECT_EQ(filtered.find("\"name\":\"drop\""), std::string::npos);
+  EXPECT_EQ(filtered.find("\"name\":\"untagged\""), std::string::npos);
+  EXPECT_NE(filtered.find("\"trace_summary\""), std::string::npos);
+}
+
 TEST(TraceTest, ThreadOrdinalIsStablePerThread) {
   const std::uint32_t mine = TraceSpan::thread_ordinal();
   EXPECT_EQ(TraceSpan::thread_ordinal(), mine);

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 namespace aec::net {
@@ -150,6 +151,73 @@ TEST(Protocol, PayloadReaderThrowsOnTrailingBytes) {
   PayloadReader r(payload);
   r.u8();
   EXPECT_THROW(r.expect_done(), ProtocolError);
+}
+
+// --- trace id / AEC2 interop ------------------------------------------------
+
+TEST(Protocol, UntracedFrameEncodesAsV1) {
+  // trace_id 0 must stay byte-identical to the pre-trace wire format:
+  // an old parser keeps working against an untraced new client.
+  Frame frame{static_cast<std::uint16_t>(Op::kPing), 9, {1, 2}};
+  const Bytes wire = encode_frame(frame);
+  ASSERT_EQ(wire.size(), kHeaderSize + 2);
+  EXPECT_EQ(wire[0], 0x41);  // "AEC1"
+  EXPECT_EQ(wire[3], 0x31);
+}
+
+TEST(Protocol, TracedFrameRoundTripsAsV2) {
+  Frame frame{static_cast<std::uint16_t>(Op::kStat), 42, {7, 8, 9}};
+  frame.trace_id = 0xFEEDFACECAFEBEEFull;
+  const Bytes wire = encode_frame(frame);
+  ASSERT_EQ(wire.size(), kHeaderSizeV2 + 3);
+  EXPECT_EQ(wire[3], 0x32);  // "AEC2"
+
+  FrameParser parser;
+  parser.feed(wire);
+  const auto decoded = parser.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->op, frame.op);
+  EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->trace_id, 0xFEEDFACECAFEBEEFull);
+  EXPECT_EQ(decoded->payload, frame.payload);
+  EXPECT_FALSE(parser.error());
+}
+
+TEST(Protocol, MixedV1V2StreamParsesPerFrame) {
+  // The magic selects the header version per frame: a traced PUT's
+  // frames interleave with untraced traffic on one connection.
+  std::mt19937_64 rng(0xAEC2);
+  std::vector<Frame> sent;
+  Bytes wire;
+  for (int i = 0; i < 48; ++i) {
+    Frame frame;
+    frame.op = static_cast<std::uint16_t>(rng() % 0x120);
+    frame.request_id = rng();
+    frame.trace_id = (i % 3 == 0) ? rng() | 1 : 0;  // mix, never-zero when set
+    frame.payload.resize(rng() % 200);
+    for (auto& b : frame.payload) b = static_cast<std::uint8_t>(rng());
+    encode_frame(frame, wire);
+    sent.push_back(std::move(frame));
+  }
+  FrameParser parser;
+  std::size_t off = 0;
+  std::size_t next = 0;
+  while (off < wire.size()) {
+    const std::size_t n = std::min<std::size_t>(1 + rng() % 37,
+                                                wire.size() - off);
+    parser.feed(BytesView(wire.data() + off, n));
+    off += n;
+    while (const auto frame = parser.next()) {
+      ASSERT_LT(next, sent.size());
+      EXPECT_EQ(frame->op, sent[next].op);
+      EXPECT_EQ(frame->request_id, sent[next].request_id);
+      EXPECT_EQ(frame->trace_id, sent[next].trace_id);
+      EXPECT_EQ(frame->payload, sent[next].payload);
+      ++next;
+    }
+    ASSERT_FALSE(parser.error());
+  }
+  EXPECT_EQ(next, sent.size());
 }
 
 }  // namespace

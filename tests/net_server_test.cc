@@ -13,13 +13,16 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <random>
+#include <string_view>
 #include <thread>
 
 #include "common/check.h"
 #include "net/client.h"
+#include "obs/trace.h"
 #include "tools/archive.h"
 
 namespace aec::net {
@@ -380,6 +383,198 @@ TEST_F(NetServerTest, ShutdownDrainsAndRefusesNewWork) {
   server_thread_.join();
   // The listener is gone: a fresh connection must be refused.
   EXPECT_THROW(Client probe(client_config()), CheckError);
+}
+
+// --- trace propagation ------------------------------------------------------
+
+TEST_F(NetServerTest, TracedRequestSharesOneIdAcrossBothEnds) {
+  obs::TraceRing& ring = obs::TraceRing::global();
+  ring.enable();
+  ClientConfig config = client_config();
+  config.trace = true;
+  std::uint64_t put_id = 0;
+  std::uint64_t get_id = 0;
+  {
+    Client client(config);
+    client.put_bytes("traced", random_bytes(64 * 1024, 3));
+    put_id = client.last_trace_id();
+    client.get_bytes("traced");
+    get_id = client.last_trace_id();
+  }
+  ASSERT_NE(put_id, 0u);
+  ASSERT_NE(get_id, 0u);
+  EXPECT_NE(put_id, get_id);  // one fresh id per logical op
+
+  // Client and server run in one process here, so the global ring holds
+  // both ends: the client's "net.client.request" span and the daemon's
+  // "net.request" spans must carry the same wire-propagated id. The
+  // server records its span after posting the last reply buffer to the
+  // reactor, so the client can observe the reply before the event lands
+  // — poll briefly before asserting.
+  const auto count_spans = [&](std::uint64_t id, std::string_view name) {
+    std::size_t n = 0;
+    for (const obs::TraceEvent& ev : ring.events())
+      if (ev.req == id && std::string_view(ev.name) == name) ++n;
+    return n;
+  };
+  for (int i = 0; i < 200 && count_spans(get_id, "net.request") == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ring.disable();
+
+  EXPECT_EQ(count_spans(put_id, "net.client.request"), 1u);
+  // PUT_BEGIN + chunk acks + PUT_END: several server requests, one op.
+  EXPECT_GE(count_spans(put_id, "net.request"), 3u);
+  EXPECT_EQ(count_spans(get_id, "net.client.request"), 1u);
+  EXPECT_GE(count_spans(get_id, "net.request"), 1u);
+}
+
+TEST_F(NetServerTest, UntracedClientLeavesTraceIdZero) {
+  obs::TraceRing& ring = obs::TraceRing::global();
+  ring.enable();
+  {
+    Client client(client_config());  // trace off (default)
+    client.ping();
+    EXPECT_EQ(client.last_trace_id(), 0u);
+  }
+  ring.disable();
+  // The server span falls back to the request id, never to a stale
+  // trace id.
+  for (const obs::TraceEvent& ev : ring.events()) {
+    if (std::string_view(ev.name) == "net.client.request") {
+      EXPECT_EQ(ev.req, 0u);
+    }
+  }
+}
+
+// --- observability HTTP listener --------------------------------------------
+
+/// One-shot HTTP GET against the exposition listener; returns the full
+/// response (status line + headers + body).
+std::string http_get(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  AEC_CHECK_MSG(fd >= 0, "socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  AEC_CHECK_MSG(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof addr) == 0,
+                "connect: " << std::strerror(errno));
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  AEC_CHECK_MSG(::send(fd, request.data(), request.size(), MSG_NOSIGNAL) ==
+                    static_cast<ssize_t>(request.size()),
+                "send");
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+    response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+TEST_F(NetServerTest, HttpMetricsServesPrometheusText) {
+  ServerConfig config;
+  config.http_port = 0;  // ephemeral
+  restart_server(config);
+  {
+    Client client(client_config());
+    client.ping();
+  }
+  const std::string response = http_get(server_->http_port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE aec_net_req_count counter"),
+            std::string::npos);
+  EXPECT_NE(response.find("aec_health_vulnerable_blocks"),
+            std::string::npos);
+}
+
+TEST_F(NetServerTest, HttpHealthzFlipsWithArchiveHealth) {
+  ServerConfig config;
+  config.http_port = 0;
+  restart_server(config);
+  {
+    Client writer(client_config());
+    writer.put_bytes("blob", random_bytes(128 * 1024, 4));
+  }
+  std::string response = http_get(server_->http_port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+
+  // Out-of-band damage + reindex → missing blocks → not-ok.
+  archive_->inject_damage(0.2, 5);
+  archive_->reindex();
+  response = http_get(server_->http_port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos);
+
+  {
+    Client fixer(client_config());
+    fixer.scrub();
+  }
+  response = http_get(server_->http_port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos)
+      << response;
+}
+
+TEST_F(NetServerTest, HttpTraceServesRingAndFiltersById) {
+  ServerConfig config;
+  config.http_port = 0;
+  restart_server(config);
+  obs::TraceRing::global().enable();
+  ClientConfig cc = client_config();
+  cc.trace = true;
+  std::uint64_t id = 0;
+  {
+    Client client(cc);
+    client.ping();
+    id = client.last_trace_id();
+  }
+  const std::string all =
+      http_get(server_->http_port(), "/trace");
+  EXPECT_NE(all.find("application/x-ndjson"), std::string::npos);
+  EXPECT_NE(all.find("\"trace_summary\""), std::string::npos);
+  const std::string filtered = http_get(
+      server_->http_port(), "/trace?request_id=" + std::to_string(id));
+  obs::TraceRing::global().disable();
+  EXPECT_NE(filtered.find("\"name\":\"net.request\""), std::string::npos);
+  EXPECT_NE(filtered.find("\"req\":" + std::to_string(id)),
+            std::string::npos);
+}
+
+TEST_F(NetServerTest, HttpRejectsUnknownTargetsAndMethods) {
+  ServerConfig config;
+  config.http_port = 0;
+  restart_server(config);
+  EXPECT_NE(http_get(server_->http_port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  // Non-GET: the request line's method decides before the target.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->http_port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  const std::string request =
+      "POST /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+    response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos);
+}
+
+TEST_F(NetServerTest, HttpListenerDisabledByDefault) {
+  // The SetUp server runs with http_port = -1: nothing to scrape, and
+  // http_port() reports 0.
+  EXPECT_EQ(server_->http_port(), 0u);
 }
 
 }  // namespace
